@@ -1,0 +1,26 @@
+"""Shared helpers for the figure/table regeneration harnesses.
+
+Each benchmark regenerates the data behind one table or figure of the
+paper and prints it in rows comparable to the original.  Expensive
+artifacts are cached under ``.repro_cache`` by :mod:`repro.bench.runner`,
+so figures that share inputs (e.g. 5.1 and 5.2) agree exactly.
+"""
+
+import pytest
+
+
+def heading(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture
+def show():
+    """Print a paper-style row; keeps harness bodies terse."""
+
+    def _show(*columns):
+        print("  ".join(str(column) for column in columns))
+
+    return _show

@@ -1,0 +1,51 @@
+"""Figure 2.2 — measured peak power and NPE on the MSP430F1610 rig vary by
+application and by input set (motivating the whole paper)."""
+
+from conftest import heading
+
+from repro.bench import runner
+from repro.bench.suite import ALL_BENCHMARKS
+from repro.hw import MeasurementRig
+
+APPS = ["autoCorr", "binSearch", "FFT", "intFilt", "mult", "PI", "tea8", "tHold"]
+N_INPUTS = 3
+
+
+def regenerate():
+    rig = MeasurementRig(runner.shared_cpu())
+    rows = {}
+    for name in APPS:
+        benchmark = ALL_BENCHMARKS[name]
+        program = benchmark.program()
+        peaks, npes = [], []
+        for inputs in benchmark.input_sets(N_INPUTS, seed=22):
+            capture = rig.measure(program.with_inputs(inputs))
+            peaks.append(capture.peak_mw)
+            npes.append(capture.npe_j_per_cycle)
+        rows[name] = (peaks, npes)
+    return rows, rig.rated_peak_mw()
+
+
+def test_fig2_2(benchmark):
+    rows, rated = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    heading("Figure 2.2 — measured peak power and NPE on MSP430F1610 rig")
+    print(f"{'app':>10} {'peak power [mW] (min-max)':>28} {'NPE [nJ/cycle] (min-max)':>26}")
+    for name, (peaks, npes) in rows.items():
+        print(
+            f"{name:>10} {min(peaks):10.3f} - {max(peaks):8.3f} "
+            f"{min(npes)*1e9:10.3f} - {max(npes)*1e9:8.3f}"
+        )
+    print(f"\nrated (datasheet-style) peak power: {rated:.3f} mW "
+          f"(paper: 4.8 mW rated vs ~1.8-2.3 observed)")
+
+    all_peaks = [p for peaks, _ in rows.values() for p in peaks]
+    # Chapter 2's three observations:
+    # 1. peak power differs across applications
+    per_app_peak = {name: max(peaks) for name, (peaks, _n) in rows.items()}
+    assert max(per_app_peak.values()) > 1.05 * min(per_app_peak.values())
+    # 2. peak power differs across inputs of one application
+    assert any(
+        max(peaks) > 1.01 * min(peaks) for peaks, _n in rows.values()
+    )
+    # 3. the rated chip power is far above any observed peak
+    assert rated > 1.3 * max(all_peaks)

@@ -1,0 +1,28 @@
+"""Figure 2.3 — instantaneous measured power of mult is significantly
+lower, on average, than its peak (why peak energy matters separately)."""
+
+from conftest import heading
+
+from repro.bench import runner
+from repro.bench.suite import ALL_BENCHMARKS
+from repro.hw import MeasurementRig
+
+
+def regenerate():
+    rig = MeasurementRig(runner.shared_cpu())
+    benchmark = ALL_BENCHMARKS["mult"]
+    inputs = benchmark.input_sets(1, seed=5)[0]
+    return rig.measure(benchmark.program().with_inputs(inputs))
+
+
+def test_fig2_3(benchmark):
+    capture = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    heading("Figure 2.3 — instantaneous power of mult on the rig")
+    print(f"samples: {len(capture.power_mw)} over {capture.time_s[-1]*1e6:.1f} us")
+    print(f"peak:    {capture.peak_mw:.3f} mW")
+    print(f"average: {capture.avg_mw:.3f} mW")
+    print(f"peak/avg ratio: {capture.peak_mw / capture.avg_mw:.2f}")
+
+    # the figure's point: average instantaneous power is well below peak
+    assert capture.avg_mw < 0.8 * capture.peak_mw
+    assert len(capture.power_mw) >= capture.cycles  # >= 1 sample per cycle

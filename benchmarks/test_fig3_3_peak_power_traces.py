@@ -1,0 +1,45 @@
+"""Figure 3.3 — per-cycle peak power varies significantly over each
+application's execution, so peak energy << peak power x runtime."""
+
+from conftest import heading
+
+import numpy as np
+
+from repro.bench import runner
+
+
+def regenerate():
+    return {
+        name: runner.x_based(name) for name in runner.all_names()
+    }
+
+
+def _sparkline(series, width=48) -> str:
+    blocks = " .:-=+*#%@"
+    chunks = np.array_split(series, width)
+    lo, hi = series.min(), series.max()
+    span = (hi - lo) or 1.0
+    return "".join(
+        blocks[int((chunk.mean() - lo) / span * (len(blocks) - 1))]
+        for chunk in chunks
+    )
+
+
+def test_fig3_3(benchmark):
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    heading("Figure 3.3 — per-cycle peak power traces [mW]")
+    for name, result in results.items():
+        trace = np.asarray(result.trace_mw)
+        print(
+            f"{name:>10} min={trace.min():.3f} mean={trace.mean():.3f} "
+            f"max={trace.max():.3f}  {_sparkline(trace)}"
+        )
+
+    for name, result in results.items():
+        trace = np.asarray(result.trace_mw)
+        # the figure's claim: worst-case average power is significantly
+        # below peak power in every application
+        assert trace.mean() < 0.98 * trace.max(), name
+        # and therefore peak energy < peak power x runtime
+        peak_times_runtime = trace.max() * len(trace) * 10.0
+        assert result.peak_energy_pj < peak_times_runtime

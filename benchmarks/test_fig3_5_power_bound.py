@@ -1,0 +1,44 @@
+"""Figure 3.5 — the X-based peak power trace upper-bounds every concrete
+input-based power trace, cycle by cycle (shown for mult)."""
+
+from conftest import heading
+
+import numpy as np
+
+from repro.bench import runner
+from repro.bench.suite import ALL_BENCHMARKS
+from repro.core.validation import run_concrete, validate_power_bound
+
+
+def regenerate():
+    report = runner.full_report("mult")
+    cpu = runner.shared_cpu()
+    model = runner.shared_model()
+    benchmark = ALL_BENCHMARKS["mult"]
+    program = benchmark.program()
+    results = []
+    for inputs in benchmark.input_sets(4, seed=33):
+        concrete = run_concrete(cpu, program, inputs)
+        results.append(
+            validate_power_bound(cpu, report.tree, report.peak_power, model, concrete)
+        )
+    return results
+
+
+def test_fig3_5(benchmark):
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    heading("Figure 3.5 — X-based bound vs input-based power traces (mult)")
+    print(f"{'run':>4} {'cycles':>7} {'bound peak':>11} {'input peak':>11} "
+          f"{'mean margin':>12} {'violations':>11}")
+    for index, result in enumerate(results):
+        print(
+            f"{index:>4} {result.n_cycles:>7} {result.bound_mw.max():>11.3f} "
+            f"{result.concrete_mw.max():>11.3f} {result.mean_margin_mw:>12.3f} "
+            f"{result.max_violation_mw:>11.6f}"
+        )
+
+    for result in results:
+        assert result.is_bound, "bound violated by a concrete trace"
+        # the bound should track the concrete trace, not sit far above it
+        ratio = result.bound_mw.max() / result.concrete_mw.max()
+        assert ratio < 2.0, f"bound is overly conservative ({ratio:.2f}x)"

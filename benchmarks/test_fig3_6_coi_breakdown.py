@@ -1,0 +1,36 @@
+"""Figure 3.6 — cycles of interest for mult: the instructions in the
+machine at each power peak and the per-module power breakdown."""
+
+from conftest import heading
+
+from repro.bench import runner
+from repro.bench.suite import ALL_BENCHMARKS
+from repro.core.coi import cycles_of_interest, dominant_modules
+
+
+def regenerate():
+    report = runner.full_report("mult")
+    program = ALL_BENCHMARKS["mult"].program()
+    reports = cycles_of_interest(
+        report.tree, report.peak_power, program, count=5
+    )
+    return reports
+
+
+def test_fig3_6(benchmark):
+    reports = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    heading("Figure 3.6 — cycles of interest for mult")
+    for coi in reports:
+        print(coi.describe())
+    top = dominant_modules(reports)
+    print(f"\ndominant modules across COIs: {top[:4]}")
+
+    assert len(reports) == 5
+    # every COI names a concrete instruction and a non-trivial breakdown
+    for coi in reports:
+        assert coi.power_mw > 0
+        assert coi.module_breakdown[0][1] > 0
+        assert coi.executing[1] != "?"
+    # mult's peaks involve loads/multiplier traffic, as in the paper
+    texts = " ".join(coi.executing[1] for coi in reports)
+    assert "mov" in texts

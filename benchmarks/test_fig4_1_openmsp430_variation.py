@@ -1,0 +1,32 @@
+"""Figure 4.1 — peak power and NPE on openMSP430 (the 65 nm evaluation
+core) also depend on application and inputs."""
+
+from conftest import heading
+
+from repro.bench import runner
+
+
+def regenerate():
+    return {name: runner.profiling(name) for name in runner.all_names()}
+
+
+def test_fig4_1(benchmark):
+    profiles = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    heading("Figure 4.1 — openMSP430-class core: input-based variation")
+    print(f"{'app':>10} {'peak power [mW] (min-max)':>27} {'NPE [pJ/cyc] (min-max)':>24}")
+    for name, profile in profiles.items():
+        p_low, p_high = profile.peak_power_range_mw()
+        n_low, n_high = profile.npe_range()
+        print(
+            f"{name:>10} {p_low:10.3f} - {p_high:7.3f} "
+            f"{n_low:10.2f} - {n_high:7.2f}"
+        )
+
+    peaks = {n: p.observed_peak_power_mw for n, p in profiles.items()}
+    # application-dependent ...
+    assert max(peaks.values()) > 1.1 * min(peaks.values())
+    # ... and input-dependent for data-driven kernels
+    spreads = {
+        name: profile.peak_power_range_mw() for name, profile in profiles.items()
+    }
+    assert any(high > 1.01 * low for low, high in spreads.values())

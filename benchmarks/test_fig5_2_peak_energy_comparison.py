@@ -1,0 +1,65 @@
+"""Figure 5.2 — normalized peak energy (J/cycle): design tool vs
+input-based vs guardbanded input-based vs X-based, per application."""
+
+from conftest import heading
+
+from repro.bench import runner
+
+
+def regenerate():
+    rows = []
+    for name in runner.all_names():
+        x = runner.x_based(name)
+        profile = runner.profiling(name)
+        low, high = profile.npe_range()
+        rows.append(
+            {
+                "app": name,
+                "npe_low": low,
+                "npe_high": high,
+                "gb_input": profile.guardbanded_npe_pj_per_cycle,
+                "x_based": x.npe_pj_per_cycle,
+            }
+        )
+    stress = runner.stressmark("average")
+    design = runner.design_baseline()
+    clock_ns = runner.shared_model().clock_ns
+    gb_stress_npe = stress.npe_pj_per_cycle(clock_ns) * 4.0 / 3.0
+    return rows, gb_stress_npe, design
+
+
+def test_fig5_2(benchmark):
+    rows, gb_stress_npe, design = benchmark.pedantic(
+        regenerate, rounds=1, iterations=1
+    )
+
+    heading("Figure 5.2 — normalized peak energy [pJ/cycle]")
+    print(f"{'app':>10} {'input-based':>16} {'GB input':>9} {'X-based':>8}")
+    for row in rows:
+        print(
+            f"{row['app']:>10} {row['npe_low']:7.2f}-{row['npe_high']:6.2f} "
+            f"{row['gb_input']:9.2f} {row['x_based']:8.2f}"
+        )
+    print(f"{'stressmark':>10} {'':>16} {gb_stress_npe:9.2f}")
+    print(f"{'design_tool':>10} {'':>16} {design.npe_pj_per_cycle:9.2f}")
+
+    x_values = [row["x_based"] for row in rows]
+    vs_gb = 100 * (
+        1 - sum(row["x_based"] / row["gb_input"] for row in rows) / len(rows)
+    )
+    vs_stress = 100 * (1 - sum(x / gb_stress_npe for x in x_values) / len(rows))
+    vs_design = 100 * (
+        1 - sum(x / design.npe_pj_per_cycle for x in x_values) / len(rows)
+    )
+    print(
+        f"\nX-based NPE lower by: {vs_gb:.1f}% vs GB-input, "
+        f"{vs_stress:.1f}% vs GB-stressmark, {vs_design:.1f}% vs design tool"
+        f"   (paper: 17%, 26%, 47%)"
+    )
+
+    for row in rows:
+        assert row["x_based"] >= row["npe_high"] - 1e-9, (
+            f"{row['app']}: X-based NPE below an observed input NPE"
+        )
+    assert vs_gb > 0
+    assert vs_design > 0

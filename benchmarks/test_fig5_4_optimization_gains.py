@@ -1,0 +1,42 @@
+"""Figure 5.4 — peak power reduction and peak-power dynamic-range
+reduction achieved by the OPT1/OPT2/OPT3 transforms."""
+
+from conftest import heading
+
+from repro.bench import runner
+
+
+def regenerate():
+    return {name: runner.optimized(name) for name in runner.all_names()}
+
+
+def test_fig5_4(benchmark):
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    heading("Figure 5.4 — optimization gains")
+    print(f"{'app':>10} {'opts':>18} {'peak reduction %':>17} {'DR reduction %':>15}")
+    for name, result in results.items():
+        print(
+            f"{name:>10} {'+'.join(result.opts) or '-':>18} "
+            f"{result.peak_reduction_pct:>17.2f} "
+            f"{result.dynamic_range_reduction_pct:>15.2f}"
+        )
+    reductions = [r.peak_reduction_pct for r in results.values()]
+    optimized = [r for r in results.values() if r.opts]
+    print(
+        f"\npeak power reduction: max {max(reductions):.1f}%, "
+        f"avg {sum(reductions)/len(reductions):.1f}%   (paper: up to 10%, avg 5%)"
+    )
+    print(
+        "note: our multicycle core dispatches one instruction at a time, so"
+        "\npeaks are single-instruction cycles rather than the fetch/execute"
+        "\noverlap coincidences OPT1-3 flatten on the pipelined openMSP430;"
+        "\nreductions are correspondingly small here (see EXPERIMENTS.md)."
+    )
+
+    assert optimized, "no benchmark had an applicable optimization"
+    # shape claims that survive the microarchitectural difference:
+    # the transforms never *raise* the guaranteed peak materially ...
+    for result in optimized:
+        assert result.peak_reduction_pct > -2.0, result.name
+    # ... and at least one application sees a measurable improvement
+    assert max(reductions) > 0.0

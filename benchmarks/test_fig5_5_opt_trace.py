@@ -1,0 +1,26 @@
+"""Figure 5.5 — mult's peak power trace before and after optimization."""
+
+from conftest import heading
+
+import numpy as np
+
+from repro.bench import runner
+
+
+def regenerate():
+    return runner.optimized("mult"), runner.x_based("mult")
+
+
+def test_fig5_5(benchmark):
+    result, base = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    before = np.asarray(base.trace_mw)
+    after = np.asarray(result.opt_trace_mw)
+    heading("Figure 5.5 — mult peak power trace, before vs after OPTs")
+    print(f"opts applied: {result.opts}")
+    print(f"before: {len(before)} cycles, peak {before.max():.3f} mW")
+    print(f"after:  {len(after)} cycles, peak {after.max():.3f} mW")
+
+    assert result.opts, "mult must trigger at least one optimization"
+    # optimization trades a longer trace for a (no worse) ceiling
+    assert after.max() <= before.max() * 1.01
+    assert len(after) >= len(before)

@@ -1,0 +1,36 @@
+"""Figure 5.6 — performance degradation and energy overhead introduced by
+the peak power optimizations are small."""
+
+from conftest import heading
+
+from repro.bench import runner
+
+
+def regenerate():
+    return {name: runner.optimized(name) for name in runner.all_names()}
+
+
+def test_fig5_6(benchmark):
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    heading("Figure 5.6 — optimization overheads")
+    print(f"{'app':>10} {'opts':>18} {'perf degradation %':>19} {'energy overhead %':>18}")
+    for name, result in results.items():
+        print(
+            f"{name:>10} {'+'.join(result.opts) or '-':>18} "
+            f"{result.perf_degradation_pct:>19.2f} "
+            f"{result.energy_overhead_pct:>18.2f}"
+        )
+    optimized = [r for r in results.values() if r.opts]
+    avg_perf = sum(r.perf_degradation_pct for r in results.values()) / len(results)
+    avg_energy = sum(r.energy_overhead_pct for r in results.values()) / len(results)
+    print(
+        f"\naverage perf degradation {avg_perf:.1f}%, energy overhead "
+        f"{avg_energy:.1f}%   (paper: ~1% and ~3%)"
+    )
+
+    assert optimized
+    for result in optimized:
+        # overheads exist but stay modest (the paper's point)
+        assert result.perf_degradation_pct >= -1e-6, result.name
+        assert result.perf_degradation_pct < 40.0, result.name
+        assert result.energy_overhead_pct < 40.0, result.name

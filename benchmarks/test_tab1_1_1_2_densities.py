@@ -1,0 +1,35 @@
+"""Tables 1.1 and 1.2 — battery energy densities and harvester power
+densities, as consumed by the sizing models."""
+
+from conftest import heading
+
+from repro.sizing import BATTERY_TYPES, HARVESTER_TYPES, harvester_area_cm2
+
+
+def regenerate():
+    return dict(BATTERY_TYPES), dict(HARVESTER_TYPES)
+
+
+def test_tab1_1_and_1_2(benchmark):
+    batteries, harvesters = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    heading("Table 1.1 — battery specific energy / energy density")
+    print(f"{'type':>14} {'J/g':>8} {'MJ/L':>8}")
+    for battery in batteries.values():
+        print(
+            f"{battery.name:>14} {battery.specific_energy_j_per_g:>8.0f} "
+            f"{battery.energy_density_mj_per_l:>8.3f}"
+        )
+    heading("Table 1.2 — harvester power density")
+    for harvester in harvesters.values():
+        print(f"{harvester.name:>24} {harvester.power_density_mw_per_cm2:>10.3f} mW/cm2")
+
+    assert batteries["li-ion"].energy_density_mj_per_l == 1.152
+    assert harvesters["photovoltaic-sun"].power_density_mw_per_cm2 == 100.0
+    # Li-ion stores the most per gram; indoor PV needs ~1000x the area of sun
+    assert max(
+        batteries.values(), key=lambda b: b.specific_energy_j_per_g
+    ).name == "Li-ion"
+    assert harvester_area_cm2(1.0, "photovoltaic-indoor") == 1000 * (
+        harvester_area_cm2(1.0, "photovoltaic-sun")
+    )

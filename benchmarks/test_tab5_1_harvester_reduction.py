@@ -1,0 +1,55 @@
+"""Table 5.1 — % harvester-area reduction vs each baseline technique for
+different processor contributions to system peak power."""
+
+from conftest import heading
+
+from repro.bench import runner
+from repro.sizing import reduction_table
+
+CONTRIBUTIONS = (10, 25, 50, 75, 90, 100)
+
+#: the paper's Table 5.1 row for comparison in the printed output
+PAPER = {
+    "GB-Input": [1.49, 3.73, 7.47, 11.21, 13.45, 14.94],
+    "GB-Stress": [2.60, 6.47, 12.95, 19.42, 23.31, 25.90],
+    "Design Tool": [2.68, 6.70, 13.41, 20.12, 24.14, 26.82],
+}
+
+
+def regenerate():
+    x_by_app = {n: runner.x_based(n).peak_power_mw for n in runner.all_names()}
+    gb_input = {
+        n: runner.profiling(n).guardbanded_peak_power_mw
+        for n in runner.all_names()
+    }
+    stress = runner.stressmark("peak").guardbanded_peak_power_mw
+    design = runner.design_baseline().peak_power_mw
+    return {
+        "GB-Input": reduction_table(gb_input, x_by_app, CONTRIBUTIONS),
+        "GB-Stress": reduction_table(
+            {n: stress for n in x_by_app}, x_by_app, CONTRIBUTIONS
+        ),
+        "Design Tool": reduction_table(
+            {n: design for n in x_by_app}, x_by_app, CONTRIBUTIONS
+        ),
+    }
+
+
+def test_tab5_1(benchmark):
+    tables = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    heading("Table 5.1 — % harvester-area reduction (measured | paper)")
+    header = " ".join(f"{c:>6}%" for c in CONTRIBUTIONS)
+    print(f"{'Baseline':>12} {header}")
+    for baseline, table in tables.items():
+        ours = " ".join(f"{table[c]:6.2f}" for c in CONTRIBUTIONS)
+        paper = " ".join(f"{v:6.2f}" for v in PAPER[baseline])
+        print(f"{baseline:>12} {ours}")
+        print(f"{'(paper)':>12} {paper}")
+
+    for baseline, table in tables.items():
+        values = [table[c] for c in CONTRIBUTIONS]
+        assert all(v > 0 for v in values), f"{baseline}: no reduction"
+        # linear in the contribution, like the paper's table
+        assert abs(values[-1] - 10 * values[0]) < 0.06  # 2-decimal rounding
+        # 100%-contribution reduction equals the headline average reduction
+        assert values[-1] < 60

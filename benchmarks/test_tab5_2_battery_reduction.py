@@ -1,0 +1,52 @@
+"""Table 5.2 — % battery-volume reduction vs each baseline technique for
+different processor contributions to system energy."""
+
+from conftest import heading
+
+from repro.bench import runner
+from repro.sizing import reduction_table
+
+CONTRIBUTIONS = (10, 25, 50, 75, 90, 100)
+
+PAPER = {
+    "GB-Input": [1.74, 4.37, 8.74, 13.11, 15.73, 17.48],
+    "GB-Stress": [2.59, 6.49, 12.98, 19.48, 23.37, 25.97],
+    "Design Tool": [4.66, 11.66, 23.32, 34.98, 41.97, 46.64],
+}
+
+
+def regenerate():
+    x_npe = {n: runner.x_based(n).npe_pj_per_cycle for n in runner.all_names()}
+    gb_input = {
+        n: runner.profiling(n).guardbanded_npe_pj_per_cycle
+        for n in runner.all_names()
+    }
+    clock_ns = runner.shared_model().clock_ns
+    stress_npe = runner.stressmark("average").npe_pj_per_cycle(clock_ns) * 4 / 3
+    design_npe = runner.design_baseline().npe_pj_per_cycle
+    return {
+        "GB-Input": reduction_table(gb_input, x_npe, CONTRIBUTIONS),
+        "GB-Stress": reduction_table(
+            {n: stress_npe for n in x_npe}, x_npe, CONTRIBUTIONS
+        ),
+        "Design Tool": reduction_table(
+            {n: design_npe for n in x_npe}, x_npe, CONTRIBUTIONS
+        ),
+    }
+
+
+def test_tab5_2(benchmark):
+    tables = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    heading("Table 5.2 — % battery-volume reduction (measured | paper)")
+    header = " ".join(f"{c:>6}%" for c in CONTRIBUTIONS)
+    print(f"{'Baseline':>12} {header}")
+    for baseline, table in tables.items():
+        ours = " ".join(f"{table[c]:6.2f}" for c in CONTRIBUTIONS)
+        paper = " ".join(f"{v:6.2f}" for v in PAPER[baseline])
+        print(f"{baseline:>12} {ours}")
+        print(f"{'(paper)':>12} {paper}")
+
+    for baseline, table in tables.items():
+        values = [table[c] for c in CONTRIBUTIONS]
+        assert all(v > 0 for v in values)
+        assert abs(values[-1] - 10 * values[0]) < 0.06  # 2-decimal rounding

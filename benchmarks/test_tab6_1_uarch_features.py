@@ -1,0 +1,43 @@
+"""Table 6.1 — microarchitectural features of embedded processors: the
+ULP class the technique targets has no branch prediction or caches, and
+neither does our core."""
+
+from conftest import heading
+
+from repro.bench import runner
+
+#: Table 6.1 verbatim: processor -> (branch predictor, cache)
+TABLE_6_1 = {
+    "ARM Cortex-M0": (False, False),
+    "ARM Cortex-M3": (True, False),
+    "Atmel ATxmega128A4": (False, False),
+    "Freescale/NXP MC13224v": (False, False),
+    "Intel Quark-D1000": (True, True),
+    "Jennic/NXP JN5169": (False, False),
+    "SiLab Si2012": (False, False),
+    "TI MSP430": (False, False),
+}
+
+
+def regenerate():
+    cpu = runner.shared_cpu()
+    modules = set(cpu.netlist.top_modules())
+    return modules, cpu.netlist.stats()
+
+
+def test_tab6_1(benchmark):
+    modules, stats = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    heading("Table 6.1 — microarchitectural features of embedded processors")
+    print(f"{'processor':>24} {'branch predictor':>17} {'cache':>6}")
+    for name, (predictor, cache) in TABLE_6_1.items():
+        print(f"{name:>24} {'yes' if predictor else 'no':>17} "
+              f"{'yes' if cache else 'no':>6}")
+    print(f"\nour core's modules: {sorted(modules)}")
+    print(f"gate count: {stats['cells']} cells, {stats['DFF']} flip-flops")
+
+    # most ULP parts are deterministic, like our core: no predictor/cache
+    deterministic = sum(
+        1 for predictor, cache in TABLE_6_1.values() if not predictor and not cache
+    )
+    assert deterministic >= 6
+    assert not {"branch_predictor", "icache", "dcache"} & modules

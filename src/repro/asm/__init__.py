@@ -1,0 +1,13 @@
+"""Two-pass assembler, program container, and disassembler."""
+
+from repro.asm.program import Program
+from repro.asm.assembler import AssemblyError, assemble
+from repro.asm.disasm import disassemble_at, disassemble_program
+
+__all__ = [
+    "Program",
+    "assemble",
+    "AssemblyError",
+    "disassemble_at",
+    "disassemble_program",
+]

@@ -1,0 +1,498 @@
+"""Two-pass assembler for the MSP430-subset ISA.
+
+Supported syntax (one statement per line, ``;`` comments)::
+
+    .org 0xF000
+    .equ WDTCTL, 0x0120
+    start:  mov #0x5A80, &WDTCTL     ; stop the watchdog
+            mov #data, r4
+    loop:   add @r4+, r5
+            dec r6
+            jnz loop
+    end:    jmp end
+    .org 0x0200
+    data:   .word 1, 2, 0x10
+    buf:    .space 4                  ; 4 uninitialized (X) words
+    in:     .input 8                  ; 8 input words (X for Algorithm 1)
+
+Operand forms: ``rN``/``pc``/``sp``/``sr``, ``#imm``, ``&abs``,
+``off(rN)``, ``@rN``, ``@rN+``, and bare labels for jump targets.
+Emulated mnemonics (``nop``, ``pop``, ``ret``, ``br``, ``clr``, ``inc``,
+``incd``, ``dec``, ``decd``, ``tst``, ``inv``, ``rla``, ``clrc``,
+``setc``) expand to their canonical MSP430 encodings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.asm.program import Program
+from repro.isa.spec import (
+    COND_CODES,
+    FORMAT_I_OPCODES,
+    FORMAT_II_OPCODES,
+    MODE_INDEXED,
+    MODE_INDIRECT,
+    MODE_INDIRECT_INC,
+    MODE_REGISTER,
+    PC,
+    SR,
+    CG2,
+    encode_format_i,
+    encode_format_ii,
+    encode_jump,
+)
+
+MASK16 = 0xFFFF
+
+#: immediate value -> (register, As mode) for the constant generators
+_CG_ENCODINGS = {
+    0: (CG2, MODE_REGISTER),
+    1: (CG2, MODE_INDEXED),
+    2: (CG2, MODE_INDIRECT),
+    0xFFFF: (CG2, MODE_INDIRECT_INC),
+    4: (SR, MODE_INDIRECT),
+    8: (SR, MODE_INDIRECT_INC),
+}
+
+_REGISTER_ALIASES = {"pc": 0, "sp": 1, "sr": 2, "cg2": 3}
+
+
+class AssemblyError(Exception):
+    """Source error, reported with the offending line number and text."""
+
+    def __init__(self, message: str, line_no: int | None = None, line: str = ""):
+        location = f" (line {line_no}: {line.strip()!r})" if line_no else ""
+        super().__init__(message + location)
+
+
+@dataclass
+class _Operand:
+    kind: str  # "reg" | "imm" | "abs" | "indexed" | "indirect" | "indirect_inc" | "sym"
+    reg: int = 0
+    expr: str = ""
+
+
+@dataclass
+class _Statement:
+    line_no: int
+    text: str
+    label: str | None
+    mnemonic: str | None
+    operands: list[_Operand]
+    directive: str | None
+    args: list[str]
+
+
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_][\w.$]*)\s*:\s*(.*)$")
+_REG_RE = re.compile(r"^(r(\d+)|pc|sp|sr|cg2)$", re.IGNORECASE)
+_INDEXED_RE = re.compile(r"^(.+)\((r\d+|pc|sp|sr)\)$", re.IGNORECASE)
+
+_EMULATED_NO_OPERAND = {
+    "nop": ("mov", ["r3", "r3"]),
+    "ret": ("mov", ["@sp+", "pc"]),
+    "clrc": ("bic", ["#1", "sr"]),
+    "setc": ("bis", ["#1", "sr"]),
+    "clrz": ("bic", ["#2", "sr"]),
+    "clrn": ("bic", ["#4", "sr"]),
+    "dint": ("bic", ["#8", "sr"]),
+    "eint": ("bis", ["#8", "sr"]),
+}
+
+_EMULATED_ONE_OPERAND = {
+    "pop": ("mov", ["@sp+", "{0}"]),
+    "br": ("mov", ["{0}", "pc"]),
+    "clr": ("mov", ["#0", "{0}"]),
+    "inc": ("add", ["#1", "{0}"]),
+    "incd": ("add", ["#2", "{0}"]),
+    "dec": ("sub", ["#1", "{0}"]),
+    "decd": ("sub", ["#2", "{0}"]),
+    "tst": ("cmp", ["#0", "{0}"]),
+    "inv": ("xor", ["#0xffff", "{0}"]),
+    "rla": ("add", ["{0}", "{0}"]),
+    "rlc": ("addc", ["{0}", "{0}"]),
+    "adc": ("addc", ["#0", "{0}"]),
+    "sbc": ("subc", ["#0", "{0}"]),
+}
+
+
+def _parse_register(token: str) -> int | None:
+    token = token.strip().lower()
+    if token in _REGISTER_ALIASES:
+        return _REGISTER_ALIASES[token]
+    match = _REG_RE.match(token)
+    if match and match.group(2) is not None:
+        number = int(match.group(2))
+        if 0 <= number <= 15:
+            return number
+    return None
+
+
+def _parse_operand(token: str, line_no: int, line: str) -> _Operand:
+    token = token.strip()
+    if not token:
+        raise AssemblyError("empty operand", line_no, line)
+    register = _parse_register(token)
+    if register is not None:
+        return _Operand("reg", reg=register)
+    if token.startswith("#"):
+        return _Operand("imm", expr=token[1:].strip())
+    if token.startswith("&"):
+        return _Operand("abs", expr=token[1:].strip())
+    if token.startswith("@"):
+        body = token[1:].strip()
+        autoinc = body.endswith("+")
+        if autoinc:
+            body = body[:-1].strip()
+        register = _parse_register(body)
+        if register is None:
+            raise AssemblyError(f"bad indirect register {body!r}", line_no, line)
+        return _Operand("indirect_inc" if autoinc else "indirect", reg=register)
+    indexed = _INDEXED_RE.match(token)
+    if indexed:
+        register = _parse_register(indexed.group(2))
+        if register is None:
+            raise AssemblyError(f"bad index register", line_no, line)
+        return _Operand("indexed", reg=register, expr=indexed.group(1).strip())
+    return _Operand("sym", expr=token)
+
+
+def _split_operands(rest: str) -> list[str]:
+    """Split on commas that are not inside parentheses."""
+    parts, depth, current = [], 0, []
+    for char in rest:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [p.strip() for p in parts if p.strip()]
+
+
+_NUMBER_RE = re.compile(r"^[+-]?(0x[0-9a-fA-F]+|0b[01]+|\d+)$")
+_TOKEN_RE = re.compile(r"0x[0-9a-fA-F]+|0b[01]+|\d+|[A-Za-z_][\w.$]*|[+\-*]|\.")
+
+
+class _ExpressionEvaluator:
+    """Evaluates integer expressions with symbols and + - * operators."""
+
+    def __init__(self, symbols: dict[str, int]):
+        self.symbols = symbols
+
+    def eval(self, expr: str, line_no: int, line: str, here: int = 0) -> int:
+        tokens = _TOKEN_RE.findall(expr.replace(" ", ""))
+        if not tokens or "".join(tokens) != expr.replace(" ", ""):
+            raise AssemblyError(f"cannot parse expression {expr!r}", line_no, line)
+        value, pending_op = 0, "+"
+        for token in tokens:
+            if token in "+-*":
+                pending_op = token
+                continue
+            if token == ".":
+                operand = here
+            elif _NUMBER_RE.match(token):
+                operand = int(token, 0)
+            elif token in self.symbols:
+                operand = self.symbols[token]
+            else:
+                raise AssemblyError(f"undefined symbol {token!r}", line_no, line)
+            if pending_op == "+":
+                value += operand
+            elif pending_op == "-":
+                value -= operand
+            else:
+                value *= operand
+        return value & MASK16 if value >= 0 else (value + 0x10000) & MASK16
+
+
+def _parse_lines(source: str) -> list[_Statement]:
+    statements = []
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        label = None
+        match = _LABEL_RE.match(line)
+        if match:
+            label, line = match.group(1), match.group(2)
+        body = line.strip()
+        if not body:
+            statements.append(_Statement(line_no, raw, label, None, [], None, []))
+            continue
+        if body.startswith("."):
+            parts = body.split(None, 1)
+            directive = parts[0].lower()
+            args = _split_operands(parts[1]) if len(parts) > 1 else []
+            statements.append(
+                _Statement(line_no, raw, label, None, [], directive, args)
+            )
+            continue
+        parts = body.split(None, 1)
+        mnemonic = parts[0].lower()
+        if mnemonic.endswith(".w"):
+            mnemonic = mnemonic[:-2]
+        if mnemonic.endswith(".b"):
+            raise AssemblyError(
+                "byte-mode (.b) instructions are not supported in this subset",
+                line_no,
+                raw,
+            )
+        operand_tokens = _split_operands(parts[1]) if len(parts) > 1 else []
+        if mnemonic in _EMULATED_NO_OPERAND:
+            if operand_tokens:
+                raise AssemblyError(f"{mnemonic} takes no operands", line_no, raw)
+            mnemonic, templates = _EMULATED_NO_OPERAND[mnemonic]
+            operand_tokens = list(templates)
+        elif mnemonic in _EMULATED_ONE_OPERAND:
+            if len(operand_tokens) != 1:
+                raise AssemblyError(f"{mnemonic} takes one operand", line_no, raw)
+            mnemonic, templates = _EMULATED_ONE_OPERAND[mnemonic]
+            operand_tokens = [t.format(operand_tokens[0]) for t in templates]
+        operands = [_parse_operand(t, line_no, raw) for t in operand_tokens]
+        statements.append(
+            _Statement(line_no, raw, label, mnemonic, operands, None, [])
+        )
+    return statements
+
+
+class _Encoder:
+    """Encodes one statement; shared by the sizing and emission passes."""
+
+    def __init__(self, evaluator: _ExpressionEvaluator):
+        self.evaluator = evaluator
+
+    def _src_encoding(
+        self, operand: _Operand, stmt: _Statement, resolve: bool
+    ) -> tuple[int, int, list[tuple[str, _Operand]]]:
+        """Return (reg, as_mode, ext) where ext is a list of pending words."""
+        if operand.kind == "reg":
+            return operand.reg, MODE_REGISTER, []
+        if operand.kind == "imm":
+            if _NUMBER_RE.match(operand.expr):
+                value = self.evaluator.eval(operand.expr, stmt.line_no, stmt.text)
+                if value in _CG_ENCODINGS:
+                    reg, mode = _CG_ENCODINGS[value]
+                    return reg, mode, []
+            return PC, MODE_INDIRECT_INC, [("imm", operand)]
+        if operand.kind == "abs":
+            return SR, MODE_INDEXED, [("abs", operand)]
+        if operand.kind == "indexed":
+            return operand.reg, MODE_INDEXED, [("idx", operand)]
+        if operand.kind == "indirect":
+            return operand.reg, MODE_INDIRECT, []
+        if operand.kind == "indirect_inc":
+            return operand.reg, MODE_INDIRECT_INC, []
+        if operand.kind == "sym":
+            # Bare symbols assemble as absolute addressing (see module doc).
+            return SR, MODE_INDEXED, [("abs", operand)]
+        raise AssemblyError(f"bad source operand", stmt.line_no, stmt.text)
+
+    def _dst_encoding(
+        self, operand: _Operand, stmt: _Statement
+    ) -> tuple[int, int, list[tuple[str, _Operand]]]:
+        if operand.kind == "reg":
+            return operand.reg, 0, []
+        if operand.kind == "abs" or operand.kind == "sym":
+            return SR, 1, [("abs", operand)]
+        if operand.kind == "indexed":
+            return operand.reg, 1, [("idx", operand)]
+        raise AssemblyError(
+            f"destination must be a register, &abs, or x(rN)",
+            stmt.line_no,
+            stmt.text,
+        )
+
+    def encode(self, stmt: _Statement, address: int) -> list[int]:
+        """Encode to concrete words (pass 2) — symbols must resolve."""
+        mnemonic = stmt.mnemonic
+        evaluator = self.evaluator
+        if mnemonic in COND_CODES:
+            if len(stmt.operands) != 1 or stmt.operands[0].kind not in ("sym", "abs"):
+                raise AssemblyError("jump needs a label target", stmt.line_no, stmt.text)
+            target = evaluator.eval(
+                stmt.operands[0].expr, stmt.line_no, stmt.text, here=address
+            )
+            byte_offset = (target - (address + 2)) & MASK16
+            if byte_offset & 1:
+                raise AssemblyError("misaligned jump target", stmt.line_no, stmt.text)
+            word_offset = byte_offset >> 1
+            if word_offset >= 0x4000:
+                word_offset -= 0x8000  # sign-extend the 15-bit word offset
+            if not -512 <= word_offset <= 511:
+                raise AssemblyError(
+                    f"jump target out of range ({word_offset} words)",
+                    stmt.line_no,
+                    stmt.text,
+                )
+            return [encode_jump(COND_CODES[mnemonic], word_offset)]
+        if mnemonic in FORMAT_II_OPCODES:
+            if mnemonic == "reti":
+                return [encode_format_ii(FORMAT_II_OPCODES["reti"], 0, 0)]
+            if len(stmt.operands) != 1:
+                raise AssemblyError(f"{mnemonic} takes one operand", stmt.line_no, stmt.text)
+            reg, as_mode, ext = self._src_encoding(stmt.operands[0], stmt, True)
+            words = [encode_format_ii(FORMAT_II_OPCODES[mnemonic], reg, as_mode)]
+            words.extend(self._resolve_ext(ext, stmt, address, words_so_far=1))
+            return words
+        if mnemonic in FORMAT_I_OPCODES:
+            if len(stmt.operands) != 2:
+                raise AssemblyError(
+                    f"{mnemonic} takes two operands", stmt.line_no, stmt.text
+                )
+            src_reg, as_mode, src_ext = self._src_encoding(stmt.operands[0], stmt, True)
+            dst_reg, ad_mode, dst_ext = self._dst_encoding(stmt.operands[1], stmt)
+            words = [
+                encode_format_i(
+                    FORMAT_I_OPCODES[mnemonic], src_reg, dst_reg, as_mode, ad_mode
+                )
+            ]
+            words.extend(
+                self._resolve_ext(src_ext + dst_ext, stmt, address, words_so_far=1)
+            )
+            return words
+        raise AssemblyError(f"unknown mnemonic {mnemonic!r}", stmt.line_no, stmt.text)
+
+    def _resolve_ext(
+        self,
+        ext: list[tuple[str, _Operand]],
+        stmt: _Statement,
+        address: int,
+        words_so_far: int,
+    ) -> list[int]:
+        resolved = []
+        for _kind, operand in ext:
+            resolved.append(
+                self.evaluator.eval(operand.expr, stmt.line_no, stmt.text, here=address)
+            )
+        return resolved
+
+    def size_in_words(self, stmt: _Statement) -> int:
+        """Pass-1 size: identical decision procedure to :meth:`encode`."""
+        mnemonic = stmt.mnemonic
+        if mnemonic in COND_CODES:
+            return 1
+        operands = stmt.operands
+        ext_words = 0
+        if mnemonic in FORMAT_II_OPCODES:
+            if mnemonic != "reti":
+                ext_words += self._operand_ext_words(operands[0])
+            return 1 + ext_words
+        if mnemonic in FORMAT_I_OPCODES:
+            ext_words += self._operand_ext_words(operands[0])
+            dst = operands[1]
+            if dst.kind in ("abs", "sym", "indexed"):
+                ext_words += 1
+            return 1 + ext_words
+        raise AssemblyError(f"unknown mnemonic {mnemonic!r}", stmt.line_no, stmt.text)
+
+    def _operand_ext_words(self, operand: _Operand) -> int:
+        if operand.kind in ("reg", "indirect", "indirect_inc"):
+            return 0
+        if operand.kind == "imm":
+            if _NUMBER_RE.match(operand.expr):
+                value = int(operand.expr, 0) & MASK16
+                if value in _CG_ENCODINGS:
+                    return 0
+            return 1
+        return 1  # abs, indexed, sym
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble *source* into a :class:`~repro.asm.program.Program`."""
+    statements = _parse_lines(source)
+    symbols: dict[str, int] = {}
+    evaluator = _ExpressionEvaluator(symbols)
+    encoder = _Encoder(evaluator)
+
+    # Pass 1: layout — assign addresses to labels.
+    location = 0xF000
+    entry = None
+    regions: list[tuple[int, int]] = []
+    for stmt in statements:
+        if stmt.label:
+            if stmt.label in symbols:
+                raise AssemblyError(
+                    f"duplicate label {stmt.label!r}", stmt.line_no, stmt.text
+                )
+            symbols[stmt.label] = location
+        if stmt.directive == ".equ":
+            if len(stmt.args) != 2:
+                raise AssemblyError(".equ NAME, VALUE", stmt.line_no, stmt.text)
+            symbols[stmt.args[0]] = evaluator.eval(
+                stmt.args[1], stmt.line_no, stmt.text
+            )
+        elif stmt.directive == ".org":
+            location = evaluator.eval(stmt.args[0], stmt.line_no, stmt.text)
+            if stmt.label:
+                symbols[stmt.label] = location
+            if entry is None and location >= 0x1000:
+                entry = location
+        elif stmt.directive == ".word":
+            location += 2 * len(stmt.args)
+        elif stmt.directive in (".space", ".input"):
+            location += 2 * evaluator.eval(stmt.args[0], stmt.line_no, stmt.text)
+        elif stmt.directive == ".entry":
+            pass
+        elif stmt.directive is not None:
+            raise AssemblyError(
+                f"unknown directive {stmt.directive}", stmt.line_no, stmt.text
+            )
+        elif stmt.mnemonic is not None:
+            location += 2 * encoder.size_in_words(stmt)
+
+    # Pass 2: emission.
+    program = Program(name=name)
+    location = 0xF000
+    for stmt in statements:
+        if stmt.directive == ".org":
+            location = evaluator.eval(stmt.args[0], stmt.line_no, stmt.text)
+            continue
+        if stmt.directive == ".equ" or stmt.directive is None and stmt.mnemonic is None:
+            continue
+        if stmt.directive == ".entry":
+            program.entry = evaluator.eval(stmt.args[0], stmt.line_no, stmt.text)
+            continue
+        if stmt.directive == ".word":
+            for arg in stmt.args:
+                value = evaluator.eval(arg, stmt.line_no, stmt.text, here=location)
+                program.words[location] = value
+                location += 2
+            continue
+        if stmt.directive == ".space":
+            location += 2 * evaluator.eval(stmt.args[0], stmt.line_no, stmt.text)
+            continue
+        if stmt.directive == ".input":
+            n_words = evaluator.eval(stmt.args[0], stmt.line_no, stmt.text)
+            program.input_regions.append((location, n_words))
+            location += 2 * n_words
+            continue
+        if stmt.mnemonic is None:
+            continue
+        words = encoder.encode(stmt, location)
+        expected = encoder.size_in_words(stmt)
+        if len(words) != expected:
+            raise AssemblyError(
+                f"size mismatch for {stmt.mnemonic} ({len(words)} vs {expected})",
+                stmt.line_no,
+                stmt.text,
+            )
+        program.source_map[location] = stmt.text.strip()
+        for word in words:
+            if location in program.words:
+                raise AssemblyError(
+                    f"overlapping code at {location:#06x}", stmt.line_no, stmt.text
+                )
+            program.words[location] = word & MASK16
+            location += 2
+
+    program.symbols = dict(symbols)
+    if entry is not None:
+        program.entry = entry
+    return program

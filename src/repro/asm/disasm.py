@@ -1,0 +1,87 @@
+"""Disassembler — used by the COI reports of §3.5 to show which
+instructions sit in the pipeline during a peak-power cycle."""
+
+from __future__ import annotations
+
+from repro.isa.spec import (
+    MODE_INDEXED,
+    MODE_INDIRECT,
+    MODE_INDIRECT_INC,
+    MODE_REGISTER,
+    PC,
+    REG_NAMES,
+    SR,
+    DecodedInstruction,
+    decode,
+)
+
+
+def _signed(value: int) -> int:
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def _src_text(instr: DecodedInstruction, ext_words: list[int]) -> str:
+    if instr.is_constant_gen():
+        return f"#{_signed(instr.constant_value())}"
+    reg = REG_NAMES[instr.src]
+    if instr.as_mode == MODE_REGISTER:
+        return reg
+    if instr.as_mode == MODE_INDEXED:
+        ext = ext_words.pop(0)
+        if instr.src == SR:
+            return f"&{ext:#06x}"
+        return f"{_signed(ext)}({reg})"
+    if instr.as_mode == MODE_INDIRECT:
+        return f"@{reg}"
+    if instr.src == PC:
+        return f"#{_signed(ext_words.pop(0))}"
+    return f"@{reg}+"
+
+
+def _dst_text(instr: DecodedInstruction, ext_words: list[int]) -> str:
+    reg = REG_NAMES[instr.dst]
+    if instr.ad_mode == 0:
+        return reg
+    ext = ext_words.pop(0)
+    if instr.dst == SR:
+        return f"&{ext:#06x}"
+    return f"{_signed(ext)}({reg})"
+
+
+def disassemble_at(words: dict[int, int], address: int) -> tuple[str, int]:
+    """Disassemble the instruction at byte *address*.
+
+    Returns ``(text, n_words)``; unknown or missing words render as ``?``.
+    """
+    word = words.get(address)
+    if word is None:
+        return "?", 1
+    try:
+        instr = decode(word)
+    except ValueError:
+        return f".word {word:#06x}", 1
+    ext_words = [
+        words.get(address + 2 * i, 0) for i in range(1, instr.n_words)
+    ]
+    if instr.fmt == "J":
+        target = (address + 2 + 2 * instr.offset) & 0xFFFF
+        return f"{instr.mnemonic} {target:#06x}", 1
+    if instr.fmt == "II":
+        if instr.mnemonic == "reti":
+            return "reti", 1
+        text = f"{instr.mnemonic} {_src_text(instr, ext_words)}"
+        return text, instr.n_words
+    source = _src_text(instr, ext_words)
+    dest = _dst_text(instr, ext_words)
+    return f"{instr.mnemonic} {source}, {dest}", instr.n_words
+
+
+def disassemble_program(words: dict[int, int], start: int, end: int) -> list[str]:
+    """Linear-sweep disassembly of [start, end) for reports and debugging."""
+    lines = []
+    address = start
+    while address < end:
+        text, n_words = disassemble_at(words, address)
+        lines.append(f"{address:#06x}: {text}")
+        address += 2 * n_words
+    return lines

@@ -1,0 +1,61 @@
+"""The assembled-program container shared by the ISS, the gate-level
+machine, and the analysis pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Program:
+    """An assembled binary image plus its symbol table and input regions."""
+
+    #: byte address (even) -> 16-bit word
+    words: dict[int, int] = field(default_factory=dict)
+    symbols: dict[str, int] = field(default_factory=dict)
+    #: (byte address, n_words) regions declared with ``.input`` — these are
+    #: the locations Algorithm 1 leaves as X and profiling randomizes.
+    input_regions: list[tuple[int, int]] = field(default_factory=list)
+    entry: int = 0xF000
+    #: byte address -> source text of the statement assembled there
+    source_map: dict[int, str] = field(default_factory=dict)
+    name: str = "program"
+
+    def input_word_addresses(self) -> list[int]:
+        """Byte addresses of every input word, flattened."""
+        addresses = []
+        for start, n_words in self.input_regions:
+            addresses.extend(start + 2 * i for i in range(n_words))
+        return addresses
+
+    def with_inputs(self, values: list[int]) -> "Program":
+        """A copy with concrete *values* loaded into the input regions.
+
+        Used by input-based profiling and validation: the returned program
+        has no symbolic inputs left.
+        """
+        addresses = self.input_word_addresses()
+        if len(values) != len(addresses):
+            raise ValueError(
+                f"program {self.name} expects {len(addresses)} input words, "
+                f"got {len(values)}"
+            )
+        clone = Program(
+            words=dict(self.words),
+            symbols=dict(self.symbols),
+            input_regions=[],
+            entry=self.entry,
+            source_map=dict(self.source_map),
+            name=self.name,
+        )
+        for address, value in zip(addresses, values):
+            clone.words[address] = value & 0xFFFF
+        return clone
+
+    @property
+    def n_input_words(self) -> int:
+        return sum(n for _start, n in self.input_regions)
+
+    def end_address(self) -> int | None:
+        """Byte address of the ``end`` symbol (the final self-jump), if any."""
+        return self.symbols.get("end")

@@ -1,0 +1,25 @@
+"""The benchmark suite of Table 4.1.
+
+Embedded sensor kernels (mult, binSearch, tea8, intFilt, tHold, div,
+inSort, rle, intAVG), EEMBC-style kernels (autoCorr, FFT, ConvEn,
+Viterbi), and the PI control benchmark — written in MSP430-subset
+assembly with their input regions marked symbolic.  Input sizes are
+scaled down (4-8 elements) so pure-Python symbolic exploration finishes
+in CI time; see DESIGN.md, Known deviations.
+"""
+
+from repro.bench.suite import (
+    ALL_BENCHMARKS,
+    Benchmark,
+    EEMBC_BENCHMARKS,
+    SENSOR_BENCHMARKS,
+    get_benchmark,
+)
+
+__all__ = [
+    "Benchmark",
+    "ALL_BENCHMARKS",
+    "SENSOR_BENCHMARKS",
+    "EEMBC_BENCHMARKS",
+    "get_benchmark",
+]

@@ -1,0 +1,425 @@
+"""Assembly sources for the 14 benchmark kernels of Table 4.1.
+
+Conventions shared by every kernel:
+
+* the first instruction stops the watchdog (the canonical MSP430 idiom);
+* ``.input N`` regions are the application inputs — X during symbolic
+  analysis, concrete during profiling/validation;
+* results land in RAM at 0x0300+ so tests can check functionality;
+* execution ends at ``end: jmp end`` (the halt idiom the tools detect);
+* r14/r15 are kept free as scratch registers for the OPT transforms.
+"""
+
+HEADER = """
+        .equ WDTCTL, 0x0120
+        .equ P1OUT,  0x0022
+        .equ MPY,    0x0130
+        .equ OP2,    0x0138
+        .equ RESLO,  0x013A
+        .equ RESHI,  0x013C
+        .org 0xF000
+start:  mov #0x5A80, &WDTCTL
+"""
+
+# ---------------------------------------------------------------------------
+# Embedded sensor benchmarks
+# ---------------------------------------------------------------------------
+
+MULT = HEADER + """
+; multiply-accumulate over 4 input pairs using the hardware multiplier
+        mov #a_in, r4
+        mov #b_in, r5
+        mov #4, r7          ; element count
+        mov #0, r8          ; accumulator lo
+        mov #0, r9          ; accumulator hi
+mloop:  push r7
+        mov @r4+, &MPY
+        mov @r5+, &OP2
+        mov &RESLO, r10
+        mov &RESHI, r11
+        add r10, r8
+        addc r11, r9
+        pop r7
+        dec r7
+        jnz mloop
+        mov r8, &0x0300
+        mov r9, &0x0302
+end:    jmp end
+        .org 0x0240
+a_in:   .input 4
+b_in:   .input 4
+"""
+
+BINSEARCH = HEADER + """
+; binary search for an input key in a sorted constant table of 8
+        mov #key, r4
+        mov @r4, r10        ; key (X)
+        mov #0, r5          ; lo index
+        mov #7, r6          ; hi index
+        mov #0xFFFF, r9     ; result: not found
+bloop:  cmp r5, r6
+        jl  bdone           ; hi < lo -> done
+        mov r6, r7
+        add r5, r7
+        rra r7              ; mid = (lo + hi) / 2
+        bic #0x8000, r7     ; logical shift (indices are small)
+        mov r7, r8
+        add r7, r8          ; byte offset = 2 * mid
+        add #table, r8
+        cmp @r8, r10
+        jz  bfound
+        jl  blower
+        mov r7, r5          ; key > mid value: lo = mid + 1
+        inc r5
+        jmp bloop
+blower: mov r7, r6          ; key < mid value: hi = mid - 1
+        dec r6
+        jmp bloop
+bfound: mov r7, r9
+bdone:  mov r9, &0x0300
+end:    jmp end
+table:  .word 3, 9, 17, 25, 40, 53, 77, 90
+        .org 0x0240
+key:    .input 1
+"""
+
+TEA8 = HEADER + """
+; TEA-style mixing: 4 rounds of shift/xor/add on a 2-word input block
+        mov #block, r4
+        mov @r4+, r5        ; v0
+        mov @r4, r6         ; v1
+        mov #0, r7          ; sum
+        mov #4, r8          ; rounds
+tloop:  add #0x79B9, r7     ; sum += delta
+        mov r6, r9
+        rla r9              ; v1 << 1
+        rla r9
+        mov r6, r10
+        rra r10             ; v1 >> 1 (arithmetic)
+        xor r9, r10
+        add r7, r10
+        add r10, r5         ; v0 += ...
+        mov r5, r9
+        rla r9
+        rla r9
+        mov r5, r10
+        rra r10
+        xor r9, r10
+        add r7, r10
+        add r10, r6         ; v1 += ...
+        dec r8
+        jnz tloop
+        mov r5, &0x0300
+        mov r6, &0x0302
+end:    jmp end
+        .org 0x0240
+block:  .input 2
+"""
+
+INTFILT = HEADER + """
+; 3-tap moving-sum integer filter over 6 input samples (indexed loads)
+        mov #0, r5          ; i = 0 (byte offset)
+        mov #6, r7          ; remaining outputs
+floop:  mov #x_in, r6
+        add r5, r6
+        mov 0(r6), r8       ; x[i]
+        add 2(r6), r8       ; + x[i+1]
+        add 4(r6), r8       ; + x[i+2]
+        rra r8              ; / 2 to keep it bounded
+        mov #0x0300, r9
+        add r5, r9
+        mov r8, 0(r9)       ; y[i]
+        incd r5
+        dec r7
+        jnz floop
+end:    jmp end
+        .org 0x0240
+x_in:   .input 8            ; 6 samples + 2 taps of warm-up history
+"""
+
+THOLD = HEADER + """
+; threshold detector: set an output bit per sample above the threshold
+        mov #s_in, r4
+        mov #4, r7          ; samples
+        mov #0, r5          ; output bit mask
+        mov #1, r6          ; current bit
+hloop:  mov @r4, r8
+        cmp #0x0200, r8     ; sample - threshold
+        jl  below           ; negative: below threshold
+above:  bis r6, r5
+below:  incd r4
+        rla r6
+        dec r7
+        jnz hloop
+        mov r5, &P1OUT
+        mov r5, &0x0300
+end:    jmp end
+        .org 0x0240
+s_in:   .input 4
+"""
+
+DIV = HEADER + """
+; restoring division: 4-bit input dividend / constant divisor
+        mov #d_in, r4
+        mov @r4, r5
+        and #0x000F, r5     ; dividend (4 bits)
+        swpb r5             ; move the nibble to bits 11..8 ...
+        rla r5
+        rla r5
+        rla r5
+        rla r5              ; ... then to bits 15..12, msb-first
+        mov #3, r6          ; divisor
+        mov #0, r7          ; remainder
+        mov #0, r8          ; quotient
+        mov #4, r9          ; bit count
+dloop:  rla r5              ; shift dividend msb out ...
+        rlc r7              ; ... into remainder
+        rla r8              ; quotient <<= 1
+        cmp r6, r7
+        jl  dnext           ; remainder < divisor
+        sub r6, r7
+        bis #1, r8
+dnext:  dec r9
+        jnz dloop
+        mov r8, &0x0300     ; quotient
+        mov r7, &0x0302     ; remainder
+end:    jmp end
+        .org 0x0240
+d_in:   .input 1
+"""
+
+INSORT = HEADER + """
+; insertion sort of 4 input words, in place in a RAM work array
+        mov #v_in, r4       ; copy inputs to RAM
+        mov #0x0310, r5
+        mov #4, r7
+cpy:    mov @r4+, r6
+        mov r6, 0(r5)
+        incd r5
+        dec r7
+        jnz cpy
+        mov #2, r5          ; i (byte offset)
+outer:  cmp #8, r5
+        jz  sdone
+        mov #0x0310, r4
+        add r5, r4
+        mov @r4, r6         ; key = arr[i]
+        mov r5, r7          ; j = i
+inner:  tst r7
+        jz  place
+        mov #0x0310, r8
+        add r7, r8
+        mov -2(r8), r9      ; arr[j-1]
+        cmp r6, r9
+        jl  place           ; arr[j-1] < key: key belongs at j
+        mov r9, 0(r8)       ; shift arr[j-1] up
+        decd r7
+        jmp inner
+place:  mov #0x0310, r8
+        add r7, r8
+        mov r6, 0(r8)
+        incd r5
+        jmp outer
+sdone:  mov &0x0310, r9     ; checksum of extremes for the tests
+        add &0x0316, r9
+        mov r9, &0x0300
+end:    jmp end
+        .org 0x0240
+v_in:   .input 4
+"""
+
+RLE = HEADER + """
+; run-length encode 4 samples against their predecessor
+        mov #r_in, r4
+        mov #0x0300, r5     ; output pointer
+        mov @r4+, r6        ; current value
+        mov #1, r7          ; run length
+        mov #3, r8          ; remaining samples
+rloop:  cmp @r4, r6
+        jnz remit           ; run breaks
+        inc r7
+        jmp rnext
+remit:  mov r6, 0(r5)       ; emit (value, length)
+        mov r7, 2(r5)
+        add #4, r5
+        mov @r4, r6
+        mov #1, r7
+rnext:  incd r4
+        dec r8
+        jnz rloop
+        mov r6, 0(r5)       ; final run
+        mov r7, 2(r5)
+end:    jmp end
+        .org 0x0240
+r_in:   .input 4
+"""
+
+INTAVG = HEADER + """
+; running average of 8 input samples (add + arithmetic shifts)
+        mov #g_in, r4
+        mov #8, r7
+        mov #0, r8
+gloop:  add @r4+, r8
+        dec r7
+        jnz gloop
+        rra r8              ; / 8
+        rra r8
+        rra r8
+        mov r8, &0x0300
+end:    jmp end
+        .org 0x0240
+g_in:   .input 8
+"""
+
+# ---------------------------------------------------------------------------
+# EEMBC-style benchmarks
+# ---------------------------------------------------------------------------
+
+AUTOCORR = HEADER + """
+; autocorrelation at lags 0 and 1 over 5 samples (multiplier-heavy)
+        mov #0, r9          ; lag (byte offset)
+        mov #0x0300, r11    ; output pointer
+alag:   mov #c_in, r4
+        mov #c_in, r5
+        add r9, r5
+        mov #4, r7          ; products per lag
+        mov #0, r8          ; accumulator
+aloop:  mov @r4+, &MPY
+        mov @r5+, &OP2
+        nop
+        add &RESLO, r8
+        dec r7
+        jnz aloop
+        mov r8, 0(r11)
+        incd r11
+        incd r9
+        cmp #4, r9          ; lags 0 and 2 bytes (0 and 1 samples)
+        jnz alag
+end:    jmp end
+        .org 0x0240
+c_in:   .input 5
+"""
+
+FFT = HEADER + """
+; 4-point decimation-in-time FFT butterfly pass on real inputs
+        mov #f_in, r4
+        mov @r4+, r5        ; x0
+        mov @r4+, r6        ; x1
+        mov @r4+, r7        ; x2
+        mov @r4+, r8        ; x3
+        ; stage 1
+        mov r5, r9
+        add r7, r9          ; a = x0 + x2
+        sub r7, r5          ; b = x0 - x2
+        mov r6, r10
+        add r8, r10         ; c = x1 + x3
+        sub r8, r6          ; d = x1 - x3
+        ; stage 2 (twiddles are +-1, -j for N=4)
+        mov r9, r11
+        add r10, r11        ; X0 = a + c
+        sub r10, r9         ; X2 = a - c
+        mov r11, &0x0300
+        mov r9, &0x0302
+        mov r5, &0x0304     ; X1 real = b
+        mov r6, &0x0306     ; X1 imag = -d (magnitude only here)
+        sub r6, r5          ; X3 proxy
+        mov r5, &0x0308
+end:    jmp end
+        .org 0x0240
+f_in:   .input 4
+"""
+
+CONVEN = HEADER + """
+; rate-1/2 K=3 convolutional encoder over one input byte (branch-free)
+        mov #e_in, r4
+        mov @r4, r5         ; input bits
+        mov #0, r6          ; shift register state
+        mov #0, r10         ; encoded output
+        mov #8, r7          ; bit count
+eloop:  rra r5              ; next input bit -> carry
+        rlc r6              ; shift into state
+        mov r6, r8
+        and #0x0005, r8     ; taps g0 = 101
+        mov r8, r9
+        swpb r9
+        xor r9, r8          ; fold parity
+        rra r8
+        mov r6, r9
+        and #0x0007, r9     ; taps g1 = 111
+        rla r10
+        xor r8, r10         ; append parity bits (compressed)
+        xor r9, r10
+        dec r7
+        jnz eloop
+        mov r10, &0x0300
+end:    jmp end
+        .org 0x0240
+e_in:   .input 1
+"""
+
+VITERBI = HEADER + """
+; add-compare-select for a 2-state trellis over 3 symbol metrics
+        mov #m_in, r4
+        mov #0, r5          ; path metric state 0
+        mov #8, r6          ; path metric state 1
+        mov #3, r7          ; steps
+vloop:  mov @r4+, r8        ; branch metric (X)
+        and #0x00FF, r8     ; keep metrics small and positive
+        ; candidate metrics for state 0: m0 + bm vs m1 + 16 - bm
+        mov r5, r9
+        add r8, r9
+        mov r6, r10
+        add #16, r10
+        sub r8, r10
+        cmp r10, r9
+        jl  v0done          ; keep r9 (survivor from state 0)
+        mov r10, r9
+v0done: ; candidate metrics for state 1: m0 + 16 - bm vs m1 + bm
+        mov r5, r11
+        add #16, r11
+        sub r8, r11
+        mov r6, r12
+        add r8, r12
+        cmp r12, r11
+        jl  v1done
+        mov r12, r11
+v1done: mov r9, r5
+        mov r11, r6
+        dec r7
+        jnz vloop
+        mov r5, &0x0300
+        mov r6, &0x0302
+end:    jmp end
+        .org 0x0240
+m_in:   .input 3
+"""
+
+PI = HEADER + """
+; proportional-integral controller over 2 input samples, with saturation
+        mov #p_in, r4
+        mov #0x0100, r10    ; setpoint
+        mov #0, r11         ; integral
+        mov #2, r7          ; samples
+ploop:  mov r10, r5
+        sub @r4+, r5        ; error = setpoint - sample
+        add r5, r11         ; integral += error
+        mov r5, &MPY        ; Kp * error
+        mov #3, &OP2
+        nop
+        mov &RESLO, r8
+        mov r11, &MPY       ; Ki * integral
+        mov #2, &OP2
+        nop
+        add &RESLO, r8      ; output = Kp*e + Ki*i
+        cmp #0x0400, r8     ; saturate high
+        jl  psat
+        mov #0x0400, r8
+psat:   mov r8, &P1OUT
+        dec r7
+        jnz ploop
+        mov r8, &0x0300
+        mov r11, &0x0302
+end:    jmp end
+        .org 0x0240
+p_in:   .input 2
+"""

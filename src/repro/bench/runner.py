@@ -1,0 +1,236 @@
+"""Shared experiment runner with a disk cache.
+
+Every figure/table harness needs the same expensive artifacts — the
+symbolic analysis of each benchmark, profiling runs, the GA stressmark.
+This module computes them once and pickles them under ``.repro_cache`` in
+the working directory, so the per-figure benchmarks stay fast and
+consistent with each other.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.suite import ALL_BENCHMARKS, Benchmark, get_benchmark
+from repro.cells import SG65
+from repro.core.api import AnalysisReport, analyze
+from repro.core.baselines import (
+    DesignToolBaseline,
+    ProfilingBaseline,
+    design_tool,
+    input_profiling,
+)
+from repro.core.stressmark import Stressmark, generate_stressmark
+from repro.cpu import Ulp430, build_ulp430
+from repro.power.model import PowerModel
+
+CACHE_DIR = Path(".repro_cache")
+
+_cpu: Ulp430 | None = None
+_model: PowerModel | None = None
+_memory_cache: dict[str, object] = {}
+
+#: profiling input sets per benchmark (the paper's "several input sets")
+N_PROFILING_INPUTS = 8
+
+
+def shared_cpu() -> Ulp430:
+    global _cpu
+    if _cpu is None:
+        _cpu = build_ulp430()
+    return _cpu
+
+
+def shared_model() -> PowerModel:
+    global _model
+    if _model is None:
+        _model = PowerModel(shared_cpu().netlist, SG65, clock_ns=10.0)
+    return _model
+
+
+def _cached(key: str, compute):
+    """Two-level cache: per-process dict, then pickle on disk."""
+    if key in _memory_cache:
+        return _memory_cache[key]
+    CACHE_DIR.mkdir(exist_ok=True)
+    path = CACHE_DIR / f"{key}.pkl"
+    if path.exists():
+        with path.open("rb") as handle:
+            value = pickle.load(handle)
+        _memory_cache[key] = value
+        return value
+    value = compute()
+    with path.open("wb") as handle:
+        pickle.dump(value, handle)
+    _memory_cache[key] = value
+    return value
+
+
+@dataclass
+class BenchmarkResults:
+    """X-based analysis results without the bulky execution tree."""
+
+    name: str
+    peak_power_mw: float
+    npe_pj_per_cycle: float
+    peak_energy_pj: float
+    path_cycles: int
+    n_segments: int
+    trace_mw: object  # numpy array
+    avg_peak_trace_mw: float
+
+
+def x_based(name: str) -> BenchmarkResults:
+    """Cached X-based (our-technique) results for one benchmark."""
+
+    def compute() -> BenchmarkResults:
+        benchmark = get_benchmark(name)
+        report = full_report(name)
+        return BenchmarkResults(
+            name=name,
+            peak_power_mw=report.peak_power_mw,
+            npe_pj_per_cycle=report.npe_pj_per_cycle,
+            peak_energy_pj=report.peak_energy_pj,
+            path_cycles=report.peak_energy.path_cycles,
+            n_segments=len(report.tree.segments),
+            trace_mw=report.peak_power.trace_mw,
+            avg_peak_trace_mw=float(report.peak_power.trace_mw.mean()),
+        )
+
+    return _cached(f"xbased_{name}", compute)
+
+
+def full_report(name: str) -> AnalysisReport:
+    """Uncached full analysis (tree included) — for COI/validation flows."""
+    key = f"report_{name}"
+    if key in _memory_cache:
+        return _memory_cache[key]
+    benchmark = get_benchmark(name)
+    report = analyze(
+        shared_cpu(),
+        benchmark.program(),
+        shared_model(),
+        loop_bound=benchmark.loop_bound,
+        max_segments=benchmark.max_segments,
+        max_cycles=benchmark.max_cycles,
+    )
+    _memory_cache[key] = report
+    return report
+
+
+def profiling(name: str) -> ProfilingBaseline:
+    """Cached guardbanded input-profiling baseline for one benchmark."""
+
+    def compute() -> ProfilingBaseline:
+        benchmark = get_benchmark(name)
+        return input_profiling(
+            shared_cpu(),
+            benchmark.program(),
+            benchmark.input_sets(N_PROFILING_INPUTS),
+            shared_model(),
+        )
+
+    return _cached(f"profiling_{name}", compute)
+
+
+def design_baseline() -> DesignToolBaseline:
+    return design_tool(shared_model())
+
+
+def stressmark(objective: str = "peak") -> Stressmark:
+    """Cached GA stressmark (shared by Figs 5.1/5.2)."""
+
+    def compute() -> Stressmark:
+        return generate_stressmark(shared_cpu(), shared_model(), objective)
+
+    return _cached(f"stressmark_{objective}", compute)
+
+
+def all_names() -> list[str]:
+    return list(ALL_BENCHMARKS)
+
+
+@dataclass
+class OptimizedResults:
+    """Before/after data for the §5.1 optimization experiments."""
+
+    name: str
+    opts: list[str]
+    base_peak_mw: float
+    opt_peak_mw: float
+    base_avg_trace_mw: float
+    opt_avg_trace_mw: float
+    base_cycles: int
+    opt_cycles: int
+    base_energy_pj: float
+    opt_energy_pj: float
+    opt_trace_mw: object  # numpy array
+
+    @property
+    def peak_reduction_pct(self) -> float:
+        return 100.0 * (1.0 - self.opt_peak_mw / self.base_peak_mw)
+
+    @property
+    def dynamic_range_reduction_pct(self) -> float:
+        base_dr = self.base_peak_mw - self.base_avg_trace_mw
+        opt_dr = self.opt_peak_mw - self.opt_avg_trace_mw
+        if base_dr <= 0:
+            return 0.0
+        return 100.0 * (1.0 - opt_dr / base_dr)
+
+    @property
+    def perf_degradation_pct(self) -> float:
+        return 100.0 * (self.opt_cycles / self.base_cycles - 1.0)
+
+    @property
+    def energy_overhead_pct(self) -> float:
+        return 100.0 * (self.opt_energy_pj / self.base_energy_pj - 1.0)
+
+
+def optimized(name: str) -> OptimizedResults:
+    """Cached §5.1 flow: COI analysis -> suggested OPTs -> re-analysis."""
+
+    def compute() -> OptimizedResults:
+        from repro.asm import assemble
+        from repro.core import optimize as opt
+        from repro.core.coi import cycles_of_interest
+
+        benchmark = get_benchmark(name)
+        base = full_report(name)
+        base_result = x_based(name)
+        program = benchmark.program()
+        reports = cycles_of_interest(base.tree, base.peak_power, program, count=5)
+        suggestions = opt.suggest(reports)
+        applied: list[str] = []
+        opt_report = base
+        opt_stats = base_result
+        if suggestions:
+            rewritten = opt.apply(benchmark.source, suggestions)
+            if rewritten.applied:
+                new_program = assemble(rewritten.source, f"{name}_opt")
+                opt_report = analyze(
+                    shared_cpu(),
+                    new_program,
+                    shared_model(),
+                    loop_bound=benchmark.loop_bound,
+                    max_segments=benchmark.max_segments * 2,
+                    max_cycles=benchmark.max_cycles * 2,
+                )
+                applied = suggestions
+        return OptimizedResults(
+            name=name,
+            opts=applied,
+            base_peak_mw=base_result.peak_power_mw,
+            opt_peak_mw=opt_report.peak_power_mw,
+            base_avg_trace_mw=base_result.avg_peak_trace_mw,
+            opt_avg_trace_mw=float(opt_report.peak_power.trace_mw.mean()),
+            base_cycles=base_result.path_cycles,
+            opt_cycles=opt_report.peak_energy.path_cycles,
+            base_energy_pj=base_result.peak_energy_pj,
+            opt_energy_pj=opt_report.peak_energy_pj,
+            opt_trace_mw=opt_report.peak_power.trace_mw,
+        )
+
+    return _cached(f"optimized_{name}", compute)

@@ -1,0 +1,34 @@
+"""Synthetic standard-cell libraries.
+
+The paper synthesizes openMSP430 to TSMC 65GP cells and runs Synopsys
+PrimeTime for power analysis.  Both are proprietary, so this package
+provides synthetic libraries with the properties the analysis actually
+consumes:
+
+* per-cell rise/fall switching energy (internal + output load),
+* per-cell leakage power,
+* the *maximum-power transition* lookup used by Algorithm 2,
+* the default input toggle rate used by the design-tool baseline.
+
+``SG65`` is the 65 nm-class library used for the openMSP430-class core
+(Chapters 3-5); ``SG130`` is a 130 nm-class scaling used by the
+MSP430F1610 measurement-rig substitute (Chapter 2).
+"""
+
+from repro.cells.library import (
+    SG65,
+    SG130,
+    Cell,
+    CellLibrary,
+    sg65_library,
+    sg130_library,
+)
+
+__all__ = [
+    "Cell",
+    "CellLibrary",
+    "SG65",
+    "SG130",
+    "sg65_library",
+    "sg130_library",
+]

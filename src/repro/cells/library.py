@@ -1,0 +1,186 @@
+"""Cell definitions and the two synthetic process libraries.
+
+Energies are in femtojoules per output transition and include a nominal
+wire/fanout load; leakage is in nanowatts per cell.  The absolute values
+are synthetic but chosen so that a ~5k-gate core at 1 V / 100 MHz lands in
+the paper's 1.5-3.5 mW peak-power band, keeping figures comparable in
+shape and magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logic import ONE, ZERO
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One standard cell: logic function plus power characterization."""
+
+    kind: str
+    n_inputs: int
+    area_um2: float
+    leakage_nw: float
+    e_rise_fj: float
+    e_fall_fj: float
+    input_cap_ff: float
+    #: Clock-pin energy per cycle (sequential cells only): burned every
+    #: cycle regardless of data activity, like real flip-flops.  This is
+    #: the input-independent power floor that makes peak-power bounds
+    #: tight in practice.
+    e_clk_fj: float = 0.0
+
+    def transition_energy_fj(self, rising: bool) -> float:
+        """Energy of one output transition in femtojoules."""
+        return self.e_rise_fj if rising else self.e_fall_fj
+
+    def max_transition_energy_fj(self) -> float:
+        """Energy of the cell's most expensive output transition."""
+        return max(self.e_rise_fj, self.e_fall_fj)
+
+    def max_power_transition(self) -> tuple[int, int]:
+        """(previous value, current value) of the max-power transition.
+
+        This is the ``maxTransition`` look-up of Algorithm 2: when two
+        consecutive cycles are both X, assign the pair of values that makes
+        the gate burn the most power in the second cycle.
+        """
+        if self.e_rise_fj >= self.e_fall_fj:
+            return (ZERO, ONE)
+        return (ONE, ZERO)
+
+
+class CellLibrary:
+    """A named collection of cells addressed by gate kind."""
+
+    def __init__(
+        self,
+        name: str,
+        cells: dict[str, Cell],
+        default_toggle_rate: float,
+        voltage_v: float,
+        mem_read_energy_fj: float,
+        mem_write_energy_fj: float,
+        mem_leakage_nw: float,
+        mem_idle_fj: float = 0.0,
+    ):
+        self.name = name
+        self._cells = dict(cells)
+        #: Default per-cycle input toggle rate assumed by the design-tool
+        #: baseline when no activity information is available (PrimeTime's
+        #: ``set_switching_activity`` default role).
+        self.default_toggle_rate = default_toggle_rate
+        self.voltage_v = voltage_v
+        #: Behavioral energy per program/data memory access (the SRAM macro
+        #: is not flattened to gates; see DESIGN.md).
+        self.mem_read_energy_fj = mem_read_energy_fj
+        self.mem_write_energy_fj = mem_write_energy_fj
+        self.mem_leakage_nw = mem_leakage_nw
+        #: SRAM clock/precharge energy burned every cycle, access or not.
+        self.mem_idle_fj = mem_idle_fj
+
+    def __contains__(self, kind: str) -> bool:
+        return kind in self._cells
+
+    def __getitem__(self, kind: str) -> Cell:
+        try:
+            return self._cells[kind]
+        except KeyError:
+            raise KeyError(
+                f"cell library {self.name!r} has no cell for gate kind {kind!r}"
+            ) from None
+
+    def kinds(self) -> list[str]:
+        return sorted(self._cells)
+
+    def cell_for_gate(self, kind: str) -> Cell:
+        """Cell used to characterize a netlist gate of the given kind.
+
+        Pseudo-gates that never switch on their own (constants, primary
+        inputs) are mapped to a zero-energy placeholder.
+        """
+        if kind in self._cells:
+            return self._cells[kind]
+        if kind in ("CONST0", "CONST1", "INPUT"):
+            return _NULL_CELL
+        raise KeyError(f"no characterization for gate kind {kind!r}")
+
+
+_NULL_CELL = Cell(
+    kind="NULL",
+    n_inputs=0,
+    area_um2=0.0,
+    leakage_nw=0.0,
+    e_rise_fj=0.0,
+    e_fall_fj=0.0,
+    input_cap_ff=0.0,
+)
+
+# kind: (n_inputs, area, leakage_nw, e_rise_fj, e_fall_fj, cap_ff, clk_fj)
+_SG65_DATA = {
+    "NOT": (1, 1.1, 9.0, 9.5, 7.0, 1.2, 0.0),
+    "BUF": (1, 1.4, 10.0, 11.0, 9.0, 1.1, 0.0),
+    "AND": (2, 2.1, 14.0, 16.5, 12.5, 1.5, 0.0),
+    "OR": (2, 2.1, 14.5, 17.0, 13.0, 1.5, 0.0),
+    "NAND": (2, 1.7, 12.0, 13.0, 10.0, 1.4, 0.0),
+    "NOR": (2, 1.7, 12.5, 13.5, 10.5, 1.4, 0.0),
+    "XOR": (2, 3.2, 19.0, 24.0, 21.0, 1.9, 0.0),
+    "XNOR": (2, 3.2, 19.0, 24.0, 21.0, 1.9, 0.0),
+    "MUX": (3, 3.6, 17.0, 22.0, 18.5, 1.8, 0.0),
+    "DFF": (1, 6.8, 28.0, 42.0, 38.0, 2.4, 14.0),
+}
+
+
+def sg65_library() -> CellLibrary:
+    """Synthetic 65 nm-class library (the TSMC 65GP stand-in)."""
+    cells = {
+        kind: Cell(kind, n, area, leak, rise, fall, cap, clk)
+        for kind, (n, area, leak, rise, fall, cap, clk) in _SG65_DATA.items()
+    }
+    return CellLibrary(
+        name="sg65",
+        cells=cells,
+        default_toggle_rate=0.45,
+        voltage_v=1.0,
+        mem_read_energy_fj=2400.0,
+        mem_write_energy_fj=2800.0,
+        mem_leakage_nw=9000.0,
+        mem_idle_fj=3200.0,
+    )
+
+
+def sg130_library() -> CellLibrary:
+    """Synthetic 130 nm-class library (the MSP430F1610 stand-in).
+
+    Older node: roughly 5x the dynamic energy and 1/3 the leakage of the
+    65 nm library, run at a lower frequency (8 MHz) and higher voltage by
+    the measurement rig.
+    """
+    cells = {
+        kind: Cell(
+            kind,
+            n,
+            area * 4.0,
+            leak * 0.3,
+            rise * 5.0,
+            fall * 5.0,
+            cap * 3.0,
+            clk * 5.0,
+        )
+        for kind, (n, area, leak, rise, fall, cap, clk) in _SG65_DATA.items()
+    }
+    return CellLibrary(
+        name="sg130",
+        cells=cells,
+        default_toggle_rate=0.45,
+        voltage_v=3.0,
+        mem_read_energy_fj=12000.0,
+        mem_write_energy_fj=14000.0,
+        mem_leakage_nw=3000.0,
+        mem_idle_fj=8000.0,
+    )
+
+
+SG65 = sg65_library()
+SG130 = sg130_library()

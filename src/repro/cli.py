@@ -1,0 +1,139 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro analyze  prog.asm [--loop-bound N] [--vcd-dir DIR]
+    python -m repro profile  prog.asm --inputs 1,2,3 [--inputs 4,5,6 ...]
+    python -m repro coi      prog.asm [--count N]
+    python -m repro suite    [--benchmarks mult,tea8,...]
+
+``analyze`` prints the guaranteed input-independent peak power and energy
+for an assembly program whose ``.input`` regions are symbolic; ``profile``
+measures concrete input sets and applies the 4/3 guardband; ``coi`` shows
+the cycles of interest with culprit instructions; ``suite`` runs the
+Table 4.1 benchmarks end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.asm import assemble
+from repro.cells import SG65
+from repro.core import analyze
+from repro.core.baselines import GUARDBAND, input_profiling
+from repro.core.coi import cycles_of_interest, dominant_modules
+from repro.cpu import build_ulp430
+from repro.power import PowerModel
+
+
+def _load_program(path: str):
+    source = Path(path).read_text()
+    return assemble(source, Path(path).stem)
+
+
+def _make_context():
+    cpu = build_ulp430()
+    model = PowerModel(cpu.netlist, SG65, clock_ns=10.0)
+    return cpu, model
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    cpu, model = _make_context()
+    program = _load_program(args.program)
+    report = analyze(
+        cpu, program, model,
+        loop_bound=args.loop_bound, vcd_dir=args.vcd_dir,
+    )
+    print(report.summary())
+    print(f"peak power : {report.peak_power_mw:.3f} mW (all inputs)")
+    print(f"peak energy: {report.peak_energy_pj:.1f} pJ over "
+          f"{report.peak_energy.path_cycles} cycles")
+    print(f"NPE        : {report.npe_pj_per_cycle:.3f} pJ/cycle")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    cpu, model = _make_context()
+    program = _load_program(args.program)
+    input_sets = [
+        [int(token, 0) for token in spec.split(",")] for spec in args.inputs
+    ]
+    profile = input_profiling(cpu, program, input_sets, model)
+    for run in profile.runs:
+        print(f"inputs={run.inputs}: peak {run.peak_power_mw:.3f} mW, "
+              f"{run.energy_pj:.1f} pJ over {run.cycles} cycles")
+    print(f"observed peak : {profile.observed_peak_power_mw:.3f} mW")
+    print(f"guardbanded   : {profile.guardbanded_peak_power_mw:.3f} mW "
+          f"(x{GUARDBAND:.2f})")
+    return 0
+
+
+def cmd_coi(args: argparse.Namespace) -> int:
+    cpu, model = _make_context()
+    program = _load_program(args.program)
+    report = analyze(cpu, program, model, loop_bound=args.loop_bound)
+    reports = cycles_of_interest(
+        report.tree, report.peak_power, program, count=args.count
+    )
+    for coi in reports:
+        print(coi.describe())
+    print(f"dominant modules: {dominant_modules(reports)[:4]}")
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from repro.bench import runner
+
+    names = args.benchmarks.split(",") if args.benchmarks else runner.all_names()
+    for name in names:
+        result = runner.x_based(name)
+        print(f"{name:>10}: peak {result.peak_power_mw:.3f} mW, "
+              f"NPE {result.npe_pj_per_cycle:.2f} pJ/cycle, "
+              f"{result.n_segments} segments")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Input-independent peak power/energy bounds for ULP "
+                    "processors (ASPLOS 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="X-based analysis of a program")
+    p_analyze.add_argument("program", help="assembly source file")
+    p_analyze.add_argument("--loop-bound", type=int, default=None)
+    p_analyze.add_argument("--vcd-dir", default=None,
+                           help="write even/odd VCD artifacts here")
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_profile = sub.add_parser("profile", help="guardbanded input profiling")
+    p_profile.add_argument("program")
+    p_profile.add_argument("--inputs", action="append", required=True,
+                           help="comma-separated input words; repeatable")
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_coi = sub.add_parser("coi", help="cycles-of-interest report")
+    p_coi.add_argument("program")
+    p_coi.add_argument("--count", type=int, default=5)
+    p_coi.add_argument("--loop-bound", type=int, default=None)
+    p_coi.set_defaults(func=cmd_coi)
+
+    p_suite = sub.add_parser("suite", help="run Table 4.1 benchmarks")
+    p_suite.add_argument("--benchmarks", default=None,
+                         help="comma-separated subset (default: all)")
+    p_suite.set_defaults(func=cmd_suite)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

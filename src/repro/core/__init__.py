@@ -1,0 +1,33 @@
+"""The paper's contribution: input-independent peak power and energy.
+
+* :mod:`repro.core.activity` — Algorithm 1, symbolic (X-propagating)
+  gate-activity analysis over all execution paths.
+* :mod:`repro.core.peakpower` — Algorithm 2, even/odd X-assignment and the
+  per-cycle peak power trace.
+* :mod:`repro.core.peakenergy` — §3.3, path-structured peak energy bounds.
+* :mod:`repro.core.validation` — §3.4, toggle-superset and power-bound
+  checks against concrete-input runs.
+* :mod:`repro.core.coi` — §3.5, cycles-of-interest reports.
+* :mod:`repro.core.optimize` — §5.1, the OPT1/OPT2/OPT3 transforms.
+* :mod:`repro.core.stressmark` — the GA stressmark baseline.
+* :mod:`repro.core.baselines` — design-tool and guardbanded profiling.
+* :mod:`repro.core.api` — one-call pipeline producing a full report.
+"""
+
+from repro.core.activity import ExecutionTree, PathExplosionError, Segment, explore
+from repro.core.peakpower import PeakPowerResult, compute_peak_power
+from repro.core.peakenergy import PeakEnergyResult, compute_peak_energy
+from repro.core.api import AnalysisReport, analyze
+
+__all__ = [
+    "explore",
+    "ExecutionTree",
+    "Segment",
+    "PathExplosionError",
+    "compute_peak_power",
+    "PeakPowerResult",
+    "compute_peak_energy",
+    "PeakEnergyResult",
+    "analyze",
+    "AnalysisReport",
+]

@@ -1,0 +1,232 @@
+"""Input-independent gate activity analysis (Algorithm 1).
+
+Symbolic simulation of the application binary on the processor netlist:
+all inputs are X, the machine steps until the *next* program counter value
+would contain an X — an input-dependent conditional branch.  The run then
+forks: for every concretization of the unknown status flags the branch
+reads, a pending path is pushed, keyed by the (state, assignment) pair so
+already-simulated paths are never re-simulated (this is what lets
+input-dependent loops terminate).
+
+The output is an :class:`ExecutionTree`: a set of trace *segments* linked
+by fork edges (including memoized back/cross edges), plus the flattened
+concatenated trace that Algorithm 2 consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.asm.program import Program
+from repro.sim.trace import Trace
+
+
+class PathExplosionError(Exception):
+    """The execution tree exceeded the configured exploration budget."""
+
+
+@dataclass
+class Fork:
+    """One outgoing edge of a segment's terminal branch."""
+
+    #: status-register concretization taken on this edge
+    assignment: dict[int, int]
+    #: target segment index (resolved after exploration)
+    target: int
+
+
+@dataclass
+class Segment:
+    """A branch-free stretch of symbolically simulated cycles."""
+
+    index: int
+    #: (parent segment index, fork number) — None for the root
+    parent: tuple[int, int] | None
+    #: slice [start, start + n_cycles) of this segment in the flat trace
+    flat_start: int = 0
+    n_cycles: int = 0
+    #: "halt" or "fork"
+    end: str = ""
+    forks: list[Fork] = field(default_factory=list)
+
+
+@dataclass
+class ExecutionTree:
+    """Algorithm 1's annotated symbolic execution tree."""
+
+    segments: list[Segment]
+    flat_trace: Trace
+    n_memo_hits: int = 0
+
+    @property
+    def n_cycles(self) -> int:
+        return len(self.flat_trace)
+
+    def segment_slice(self, segment: Segment) -> slice:
+        return slice(segment.flat_start, segment.flat_start + segment.n_cycles)
+
+    def toggled_any(self) -> np.ndarray:
+        """Gates that can toggle in *some* execution — Figure 3.4's set."""
+        return self.flat_trace.toggled_any()
+
+    def edges(self) -> list[tuple[int, int]]:
+        """(from_segment, to_segment) fork edges, memo edges included."""
+        pairs = []
+        for segment in self.segments:
+            pairs.extend((segment.index, fork.target) for fork in segment.forks)
+        return pairs
+
+    def is_cyclic(self) -> bool:
+        """True when memoization produced a loop (input-dependent loop)."""
+        color = {}
+
+        def visit(node: int) -> bool:
+            color[node] = 1
+            for _src, dst in [
+                (node, f.target) for f in self.segments[node].forks
+            ]:
+                if color.get(dst) == 1:
+                    return True
+                if color.get(dst, 0) == 0 and visit(dst):
+                    return True
+            color[node] = 2
+            return False
+
+        return visit(0)
+
+
+@dataclass
+class _Pending:
+    snapshot: dict
+    forces: dict[int, int]
+    parent: tuple[int, int] | None
+    memo_key: bytes
+
+
+def _memo_key(machine, snapshot: dict, forces: dict[int, int]) -> bytes:
+    """Key = architectural state at the branch + the flag concretization."""
+    import hashlib
+
+    from repro.sim.machine import Machine
+
+    h = hashlib.blake2b(digest_size=16)
+    h.update(Machine.snapshot_state_key(snapshot, machine.evaluator.dff_out))
+    for net in sorted(forces):
+        h.update(net.to_bytes(4, "little"))
+        h.update(forces[net].to_bytes(1, "little"))
+    return h.digest()
+
+
+def explore(
+    cpu,
+    program: Program,
+    max_cycles: int = 200_000,
+    max_segments: int = 4_096,
+    max_cycles_per_path: int = 50_000,
+) -> ExecutionTree:
+    """Run Algorithm 1 for *program* on the gate-level *cpu*.
+
+    Returns the annotated execution tree.  Raises
+    :class:`PathExplosionError` when the exploration budget is exceeded and
+    :class:`repro.cpu.UnresolvedPCError` when the PC becomes X outside a
+    forkable conditional branch.
+    """
+    machine = cpu.make_machine(program, symbolic_inputs=True)
+    flat = Trace(machine.netlist.n_nets)
+    segments: list[Segment] = []
+    total_cycles = 0
+
+    root = _Pending(
+        snapshot=machine.snapshot(), forces={}, parent=None, memo_key=b"root"
+    )
+    stack: list[_Pending] = [root]
+    #: memo_key -> segment index (future segments get patched when popped)
+    seen: dict[bytes, int] = {root.memo_key: 0}
+    pending_targets: dict[bytes, list[tuple[int, int]]] = {}
+    n_memo_hits = 0
+
+    while stack:
+        pending = stack.pop()
+        if len(segments) >= max_segments:
+            raise PathExplosionError(
+                f"{program.name}: more than {max_segments} path segments"
+            )
+        segment = Segment(index=len(segments), parent=pending.parent)
+        segment.flat_start = len(flat)
+        segments.append(segment)
+        seen[pending.memo_key] = segment.index
+        for src, fork_no in pending_targets.pop(pending.memo_key, []):
+            segments[src].forks[fork_no].target = segment.index
+
+        machine.restore(pending.snapshot)
+        machine.next_dff_forces = dict(pending.forces)
+
+        cycles_here = 0
+        while True:
+            snap_before = machine.snapshot()
+            machine.step(trace=flat)
+            cycles_here += 1
+            total_cycles += 1
+            if total_cycles > max_cycles:
+                raise PathExplosionError(
+                    f"{program.name}: exceeded {max_cycles} total cycles"
+                )
+            if cycles_here > max_cycles_per_path:
+                raise PathExplosionError(
+                    f"{program.name}: path exceeded {max_cycles_per_path} cycles"
+                )
+            if cpu.halted(machine):
+                segment.end = "halt"
+                break
+            if cpu.pc_next_unknown(machine):
+                assignments = cpu.branch_fork_assignments(machine)
+                # Drop the X-condition dispatch cycle: each child re-executes
+                # it with concrete flags, keeping flat cycles 1:1 with real
+                # executions (and the peak bound tight).
+                flat.records.pop()
+                cycles_here -= 1
+                total_cycles -= 1
+                segment.end = "fork"
+                for assignment in assignments:
+                    key = _memo_key(machine, snap_before, assignment)
+                    fork_no = len(segment.forks)
+                    if key in seen:
+                        n_memo_hits += 1
+                        segment.forks.append(Fork(assignment, seen[key]))
+                        if seen[key] == -1:  # queued but not yet simulated
+                            pending_targets.setdefault(key, []).append(
+                                (segment.index, fork_no)
+                            )
+                    else:
+                        seen[key] = -1
+                        segment.forks.append(Fork(assignment, -1))
+                        pending_targets.setdefault(key, []).append(
+                            (segment.index, fork_no)
+                        )
+                        stack.append(
+                            _Pending(
+                                snapshot=snap_before,
+                                forces=assignment,
+                                parent=(segment.index, fork_no),
+                                memo_key=key,
+                            )
+                        )
+                break
+        segment.n_cycles = cycles_here
+
+    tree = ExecutionTree(
+        segments=segments, flat_trace=flat, n_memo_hits=n_memo_hits
+    )
+    _check_resolved(tree)
+    return tree
+
+
+def _check_resolved(tree: ExecutionTree) -> None:
+    for segment in tree.segments:
+        for fork in segment.forks:
+            if fork.target < 0:
+                raise AssertionError(
+                    f"unresolved fork target in segment {segment.index}"
+                )

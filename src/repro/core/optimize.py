@@ -1,0 +1,142 @@
+"""Peak-power-reducing software transforms (§3.5, §5.1).
+
+Three source-to-source peephole optimizations, exactly the paper's:
+
+* **OPT1 — register-indexed loads**: ``mov x(rN), rD`` splits into an
+  address computation into a scratch register plus a register-indirect
+  load, spreading one cycle's activity over several.
+* **OPT2 — POP splitting**: ``pop rD`` (``mov @sp+, rD``) splits into
+  ``mov @sp, rD`` + ``add #2, sp`` so the bus transfer and the stack
+  pointer increment no longer coincide.
+* **OPT3 — multiplier NOP**: a ``nop`` after firing the multiplier (OP2
+  write) keeps the core quiet during the array's busy cycle.
+
+``suggest`` inspects COI reports to pick the transforms that target the
+actual peaks; ``apply`` rewrites the assembly source.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.coi import CycleOfInterest
+
+_INDEXED_LOAD_RE = re.compile(
+    r"^(?P<indent>\s*)(?P<label>\w+:)?\s*mov\s+(?P<off>[-\w]+)\((?P<base>r\d+|sp)\)\s*,"
+    r"\s*(?P<dst>r\d+)\s*(?P<comment>;.*)?$"
+)
+_POP_RE = re.compile(
+    r"^(?P<indent>\s*)(?P<label>\w+:)?\s*pop\s+(?P<dst>r\d+)\s*(?P<comment>;.*)?$"
+)
+_OP2_WRITE_RE = re.compile(
+    r"^\s*(\w+:)?\s*mov\s+.*,\s*&(0x0138|OP2)\s*(;.*)?$", re.IGNORECASE
+)
+_NOP_RE = re.compile(r"^\s*(\w+:)?\s*nop\s*(;.*)?$")
+
+
+@dataclass
+class OptimizationResult:
+    """A rewritten source plus which transforms fired where."""
+
+    source: str
+    applied: list[tuple[str, int]]  # (opt name, source line number)
+
+    @property
+    def n_applied(self) -> int:
+        return len(self.applied)
+
+
+def _label_prefix(match: re.Match) -> str:
+    label = match.group("label")
+    return f"{label}\n" if label else ""
+
+
+def apply_opt1(source: str, scratch: str = "r15") -> OptimizationResult:
+    """Split register-indexed loads (not stores) via *scratch*."""
+    lines = source.splitlines()
+    output, applied = [], []
+    for number, line in enumerate(lines, start=1):
+        match = _INDEXED_LOAD_RE.match(line)
+        if match and match.group("base") != match.group("dst"):
+            off, base = match.group("off"), match.group("base")
+            dst = match.group("dst")
+            prefix = _label_prefix(match)
+            output.append(
+                f"{prefix}        mov #{off}, {scratch}\n"
+                f"        add {base}, {scratch}\n"
+                f"        mov @{scratch}, {dst}"
+            )
+            applied.append(("OPT1", number))
+        else:
+            output.append(line)
+    return OptimizationResult("\n".join(output), applied)
+
+
+def apply_opt2(source: str) -> OptimizationResult:
+    """Split POP into a stack load and a separate SP increment."""
+    lines = source.splitlines()
+    output, applied = [], []
+    for number, line in enumerate(lines, start=1):
+        match = _POP_RE.match(line)
+        if match:
+            dst = match.group("dst")
+            prefix = _label_prefix(match)
+            output.append(
+                f"{prefix}        mov @sp, {dst}\n        add #2, sp"
+            )
+            applied.append(("OPT2", number))
+        else:
+            output.append(line)
+    return OptimizationResult("\n".join(output), applied)
+
+
+def apply_opt3(source: str) -> OptimizationResult:
+    """Insert a NOP after every multiplier trigger (OP2 write)."""
+    lines = source.splitlines()
+    output, applied = [], []
+    for number, line in enumerate(lines, start=1):
+        output.append(line)
+        if _OP2_WRITE_RE.match(line):
+            following = lines[number] if number < len(lines) else ""
+            if not _NOP_RE.match(following):
+                output.append("        nop")
+                applied.append(("OPT3", number))
+    return OptimizationResult("\n".join(output), applied)
+
+
+_TRANSFORMS = {
+    "OPT1": apply_opt1,
+    "OPT2": apply_opt2,
+    "OPT3": apply_opt3,
+}
+
+
+def suggest(reports: list[CycleOfInterest]) -> list[str]:
+    """Pick transforms that target the observed peaks (§3.5's analysis)."""
+    suggestions: list[str] = []
+    for report in reports:
+        text = report.executing[1]
+        top_modules = [name for name, _p in report.module_breakdown[:3]]
+        if "multiplier" in top_modules and "OPT3" not in suggestions:
+            suggestions.append("OPT3")
+        if re.search(r"mov\s+-?\w+\(r\d+\)", text) and "OPT1" not in suggestions:
+            suggestions.append("OPT1")
+        if "@sp+" in text.replace(" ", "") and "OPT2" not in suggestions:
+            suggestions.append("OPT2")
+    return suggestions
+
+
+def apply(source: str, opts: list[str], scratch: str = "r15") -> OptimizationResult:
+    """Apply the named transforms in sequence."""
+    applied: list[tuple[str, int]] = []
+    current = source
+    for name in opts:
+        try:
+            transform = _TRANSFORMS[name]
+        except KeyError:
+            raise ValueError(f"unknown optimization {name!r}") from None
+        result = transform(current) if name != "OPT1" else transform(current, scratch)
+        current = result.source
+        applied.extend(result.applied)
+    return OptimizationResult(current, applied)

@@ -1,0 +1,182 @@
+"""Genetic-algorithm stressmark generation (the Audit-style baseline).
+
+Kim et al.'s Audit framework breeds instruction sequences that maximize a
+power objective; the paper adapts it to target peak instantaneous power
+and average power on openMSP430.  This module does the same for our core:
+a genome is a short sequence of parameterized instruction templates, run
+twice in a loop on the gate-level model, and scored by measured peak (or
+average) power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.asm import assemble
+from repro.core.baselines import GUARDBAND
+from repro.power.model import PowerModel
+from repro.sim.trace import Trace
+
+#: instruction templates; {r} registers drawn from r4-r11, {v} random word,
+#: {n} small even offset.  r12 is the data-area base pointer.
+TEMPLATES = [
+    "mov #{v}, r{r}",
+    "add r{r}, r{r2}",
+    "xor r{r}, r{r2}",
+    "and #{v}, r{r}",
+    "swpb r{r}",
+    "rla r{r}",
+    "mov {n}(r12), r{r}",
+    "mov r{r}, {n}(r12)",
+    "push r{r}",
+    "pop r{r}",
+    "mov r{r}, &0x0130",  # MPY
+    "mov r{r}, &0x0138",  # OP2 (fires the multiplier)
+    "mov &0x013A, r{r}",  # RESLO
+]
+
+# r12 is the data-area base and r13 the loop counter: both are outside
+# the r4-r11 range the gene pool draws from, so no gene can clobber them.
+HEADER = """
+        .equ WDTCTL, 0x0120
+        .org 0xF000
+start:  mov #0x5A80, &WDTCTL
+        mov #0x0400, r12
+        mov #0xA5A5, r4
+        mov #0x5A5A, r5
+        mov #2, r13         ; loop twice
+"""
+
+FOOTER = """
+        dec r13
+        jnz body
+end:    jmp end
+"""
+
+
+@dataclass
+class Gene:
+    template: int
+    r: int
+    r2: int
+    value: int
+    offset: int
+
+    def render(self) -> str:
+        text = TEMPLATES[self.template]
+        return "        " + text.format(
+            r=self.r, r2=self.r2, v=self.value, n=self.offset
+        )
+
+
+@dataclass
+class Stressmark:
+    """The winning individual and its measured requirements."""
+
+    source: str
+    peak_power_mw: float
+    avg_power_mw: float
+    generations: int
+
+    @property
+    def guardbanded_peak_power_mw(self) -> float:
+        return self.peak_power_mw * GUARDBAND
+
+    def npe_pj_per_cycle(self, clock_ns: float) -> float:
+        """Average power expressed as energy per cycle (the NPE metric)."""
+        return self.avg_power_mw * clock_ns
+
+    def guardbanded_npe(self, clock_ns: float) -> float:
+        return self.npe_pj_per_cycle(clock_ns) * GUARDBAND
+
+
+def _random_gene(rng: np.random.Generator) -> Gene:
+    return Gene(
+        template=int(rng.integers(0, len(TEMPLATES))),
+        r=int(rng.integers(4, 12)),
+        r2=int(rng.integers(4, 12)),
+        value=int(rng.integers(0, 0x10000)),
+        offset=int(rng.integers(0, 8)) * 2,
+    )
+
+
+def _genome_source(genome: list[Gene]) -> str:
+    pushes = 0
+    lines = ["body:"]
+    for gene in genome:
+        text = gene.render()
+        # keep the stack balanced: a pop with nothing pushed is skipped
+        if "push" in text:
+            pushes += 1
+        if "pop" in text:
+            if pushes == 0:
+                continue
+            pushes -= 1
+        lines.append(text)
+    lines.extend("        pop r15" for _ in range(pushes))
+    return HEADER + "\n".join(lines) + FOOTER
+
+
+def _evaluate(cpu, model: PowerModel, genome: list[Gene]) -> tuple[float, float]:
+    program = assemble(_genome_source(genome), "stressmark")
+    machine = cpu.make_machine(program, symbolic_inputs=False, port_in=0)
+    trace = Trace(machine.netlist.n_nets)
+    cpu.run_to_halt(machine, max_cycles=5_000, trace=trace)
+    power = model.trace_power(trace.values_matrix(), trace.mem_accesses())
+    return power.peak(), power.average()
+
+
+def generate_stressmark(
+    cpu,
+    model: PowerModel,
+    objective: str = "peak",
+    population: int = 10,
+    generations: int = 6,
+    genome_length: int = 12,
+    seed: int = 42,
+) -> Stressmark:
+    """Breed a stressmark targeting ``"peak"`` or ``"average"`` power."""
+    if objective not in ("peak", "average"):
+        raise ValueError("objective must be 'peak' or 'average'")
+    rng = np.random.default_rng(seed)
+    pool = [
+        [_random_gene(rng) for _ in range(genome_length)]
+        for _ in range(population)
+    ]
+    scored = []
+    best: tuple[float, float, list[Gene]] | None = None
+    for _generation in range(generations):
+        scored = []
+        for genome in pool:
+            try:
+                peak, avg = _evaluate(cpu, model, genome)
+            except Exception:
+                peak, avg = 0.0, 0.0  # malformed individual: selected out
+            fitness = peak if objective == "peak" else avg
+            scored.append((fitness, peak, avg, genome))
+        scored.sort(key=lambda item: -item[0])
+        if best is None or scored[0][0] > (
+            best[0] if objective == "peak" else best[1]
+        ):
+            best = (scored[0][1], scored[0][2], scored[0][3])
+        survivors = [genome for _f, _p, _a, genome in scored[: population // 2]]
+        children = []
+        while len(survivors) + len(children) < population:
+            mother, father = rng.choice(len(survivors), size=2, replace=True)
+            cut = int(rng.integers(1, genome_length))
+            child = list(survivors[mother][:cut]) + list(survivors[father][cut:])
+            for position in range(genome_length):
+                if rng.random() < 0.15:
+                    child[position] = _random_gene(rng)
+            children.append(child)
+        pool = survivors + children
+
+    peak, avg, genome = best
+    return Stressmark(
+        source=_genome_source(genome),
+        peak_power_mw=peak,
+        avg_power_mw=avg,
+        generations=generations,
+    )

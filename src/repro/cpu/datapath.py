@@ -1,0 +1,224 @@
+"""Datapath builders: ALU, shifter unit, register file, array multiplier.
+
+Each function elaborates gates into the caller's :class:`NetlistBuilder`
+under the current module scope and returns the result nets.  Buses are
+LSB-first lists of net ids, 16 bits unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.builder import Bus, NetlistBuilder
+
+
+@dataclass
+class AluOutputs:
+    """Result and flag nets produced by the Format I ALU."""
+
+    result: Bus
+    c: int
+    z: int
+    n: int
+    v: int
+    #: asserted when the decoded opcode updates the status flags
+    sets_flags: int
+
+
+def and_or_select(nb: NetlistBuilder, choices: list[tuple[int, Bus]]) -> Bus:
+    """One-hot AND-OR bus selector: sum(sel_i & bus_i) per bit.
+
+    Exactly one select should be hot; with X selects the output degrades to
+    X conservatively, which is the behaviour the analysis needs.
+    """
+    width = len(choices[0][1])
+    out: Bus = []
+    for bit in range(width):
+        terms = [nb.and_(sel, bus[bit]) for sel, bus in choices]
+        out.append(nb.or_n(terms))
+    return out
+
+
+def build_alu(
+    nb: NetlistBuilder,
+    opcode: Bus,
+    src: Bus,
+    dst: Bus,
+    carry_flag: int,
+) -> AluOutputs:
+    """The Format I ALU: one shared adder plus a logic unit.
+
+    *opcode* is the 4-bit top nibble of the instruction word; *src* and
+    *dst* are the operand buses; *carry_flag* is the current SR carry for
+    ADDC/SUBC.
+    """
+    op = nb.decoder(opcode)  # 16 one-hot lines, indices 0x4..0xF meaningful
+    is_mov, is_add, is_addc = op[0x4], op[0x5], op[0x6]
+    is_subc, is_sub, is_cmp = op[0x7], op[0x8], op[0x9]
+    is_dadd, is_bit, is_bic = op[0xA], op[0xB], op[0xC]
+    is_bis, is_xor, is_and = op[0xD], op[0xE], op[0xF]
+
+    subtract = nb.or_n([is_subc, is_sub, is_cmp])
+    adder_b = nb.bus_mux(subtract, src, nb.bus_not(src))
+    use_carry = nb.or_(is_addc, is_subc)
+    forced_one = nb.or_(is_sub, is_cmp)
+    carry_in = nb.or_(forced_one, nb.and_(use_carry, carry_flag))
+    total, carry_out = nb.ripple_add(dst, adder_b, carry_in)
+
+    and_out = nb.bus_and(dst, src)
+    bic_out = nb.bus_and(dst, nb.bus_not(src))
+    bis_out = nb.bus_or(dst, src)
+    xor_out = nb.bus_xor(dst, src)
+
+    use_adder = nb.or_n([is_add, is_addc, is_subc, is_sub, is_cmp, is_dadd])
+    use_and = nb.or_(is_and, is_bit)
+    result = and_or_select(
+        nb,
+        [
+            (is_mov, src),
+            (use_adder, total),
+            (use_and, and_out),
+            (is_bic, bic_out),
+            (is_bis, bis_out),
+            (is_xor, xor_out),
+        ],
+    )
+
+    zero = nb.is_zero(result)
+    negative = result[15]
+    not_zero = nb.not_(zero)
+    logic_carry_op = nb.or_n([is_and, is_bit, is_xor])
+    carry = nb.or_(
+        nb.and_(use_adder, carry_out), nb.and_(logic_carry_op, not_zero)
+    )
+
+    d_xor_s = nb.xor(dst[15], src[15])
+    d_xor_r = nb.xor(dst[15], result[15])
+    overflow_add = nb.and_(nb.not_(d_xor_s), d_xor_r)
+    overflow_sub = nb.and_(d_xor_s, d_xor_r)
+    overflow_xor = nb.and_(dst[15], src[15])
+    add_type = nb.or_(is_add, is_addc)
+    overflow = nb.or_n(
+        [
+            nb.and_(add_type, overflow_add),
+            nb.and_(subtract, overflow_sub),
+            nb.and_(is_xor, overflow_xor),
+        ]
+    )
+
+    sets_flags = nb.or_n(
+        [is_add, is_addc, is_subc, is_sub, is_cmp, is_bit, is_xor, is_and]
+    )
+    return AluOutputs(
+        result=result, c=carry, z=zero, n=negative, v=overflow,
+        sets_flags=sets_flags,
+    )
+
+
+@dataclass
+class ShiftOutputs:
+    """Result and flags of the Format II shifter (RRC/SWPB/RRA/SXT)."""
+
+    result: Bus
+    c: int
+    z: int
+    n: int
+    v: int
+    sets_flags: int
+
+
+def build_shifter(
+    nb: NetlistBuilder, opcode2: Bus, src: Bus, carry_flag: int
+) -> ShiftOutputs:
+    """Format II shift/byte unit; *opcode2* is the 3-bit opcode field."""
+    lines = nb.decoder(opcode2)
+    is_rrc, is_swpb, is_rra, is_sxt = lines[0], lines[1], lines[2], lines[3]
+
+    rrc_out = src[1:] + [carry_flag]
+    rra_out = src[1:] + [src[15]]
+    swpb_out = src[8:] + src[:8]
+    sxt_out = src[:8] + [src[7]] * 8
+
+    result = and_or_select(
+        nb,
+        [
+            (is_rrc, rrc_out),
+            (is_rra, rra_out),
+            (is_swpb, swpb_out),
+            (is_sxt, sxt_out),
+        ],
+    )
+    zero = nb.is_zero(result)
+    not_zero = nb.not_(zero)
+    shifted = nb.or_(is_rrc, is_rra)
+    carry = nb.or_(nb.and_(shifted, src[0]), nb.and_(is_sxt, not_zero))
+    sets_flags = nb.or_n([is_rrc, is_rra, is_sxt])
+    return ShiftOutputs(
+        result=result, c=carry, z=zero, n=result[15], v=nb.const0(),
+        sets_flags=sets_flags,
+    )
+
+
+@dataclass
+class RegisterFile:
+    """r4..r15 DFF banks plus the two read-port muxes."""
+
+    banks: list[Bus]  # banks[0] is r4
+    read_a: Bus
+    read_b: Bus
+
+
+def build_register_file(
+    nb: NetlistBuilder,
+    sel_a: Bus,
+    sel_b: Bus,
+    pc: Bus,
+    sp: Bus,
+    sr: Bus,
+    write_index: Bus,
+    write_enable: int,
+    write_data: Bus,
+) -> RegisterFile:
+    """12 general registers with two read ports and one write port.
+
+    Read selects are the 4-bit src/dst fields; entries 0-2 map to the
+    dedicated PC/SP/SR registers and entry 3 reads as constant 0 (the
+    constant-generator register has no storage).
+    """
+    banks: list[Bus] = []
+    write_lines = nb.decoder(write_index)
+    for n in range(4, 16):
+        bank = nb.register(16, f"r{n}")
+        enable = nb.and_(write_enable, write_lines[n])
+        nb.register_with_enable(bank, write_data, enable)
+        banks.append(bank)
+
+    zero_bus = nb.bus_const(0, 16)
+    choices = [pc, sp, sr, zero_bus] + banks
+    read_a = nb.bus_mux_tree(sel_a, choices)
+    read_b = nb.bus_mux_tree(sel_b, choices)
+    return RegisterFile(banks=banks, read_a=read_a, read_b=read_b)
+
+
+def build_array_multiplier(nb: NetlistBuilder, a: Bus, b: Bus) -> Bus:
+    """Combinational 16x16 -> 32 unsigned array multiplier.
+
+    The classic shift-and-add array: one AND row per multiplier bit, summed
+    with ripple adders.  ~1.7k gates — deliberately the largest, most
+    power-hungry block in the design, as the multiplier is on real ULP
+    parts (the paper leans on this for the `mult` benchmark and OPT3).
+    """
+    width = len(a)
+    zero = nb.const0()
+    accumulator: Bus = [nb.and_(a[0], bit) for bit in b] + [zero] * width
+    for position in range(1, width):
+        partial = [nb.and_(a[position], bit) for bit in b]
+        segment = accumulator[position : position + width]
+        total, carry = nb.ripple_add(segment, partial)
+        accumulator = (
+            accumulator[:position]
+            + total
+            + [carry]
+            + accumulator[position + width + 1 :]
+        )
+    return accumulator[: 2 * width]

@@ -1,0 +1,5 @@
+"""MSP430F1610 measurement-rig substitute (Chapter 2)."""
+
+from repro.hw.rig import Measurement, MeasurementRig
+
+__all__ = ["MeasurementRig", "Measurement"]

@@ -1,0 +1,52 @@
+"""MSP430-subset instruction set architecture.
+
+The paper evaluates on openMSP430, an open-source implementation of TI's
+MSP430 ISA.  This package defines the word-width subset used throughout the
+reproduction: all Format I (two-operand) and Format II (single-operand)
+instructions plus the full jump family, with the real MSP430 encodings and
+constant-generator registers.
+
+Byte-mode (``.b``) forms are intentionally unsupported — none of the
+benchmark kernels need them (see DESIGN.md, Known deviations).
+"""
+
+from repro.isa.spec import (
+    COND_CODES,
+    FORMAT_I_OPCODES,
+    FORMAT_II_OPCODES,
+    PC,
+    REG_NAMES,
+    SP,
+    SR,
+    SR_C,
+    SR_N,
+    SR_V,
+    SR_Z,
+    DecodedInstruction,
+    decode,
+    encode_format_i,
+    encode_format_ii,
+    encode_jump,
+)
+from repro.isa.iss import InstructionSetSimulator, IssState
+
+__all__ = [
+    "FORMAT_I_OPCODES",
+    "FORMAT_II_OPCODES",
+    "COND_CODES",
+    "REG_NAMES",
+    "PC",
+    "SP",
+    "SR",
+    "SR_C",
+    "SR_Z",
+    "SR_N",
+    "SR_V",
+    "DecodedInstruction",
+    "decode",
+    "encode_format_i",
+    "encode_format_ii",
+    "encode_jump",
+    "InstructionSetSimulator",
+    "IssState",
+]

@@ -1,0 +1,360 @@
+"""Behavioral instruction-set simulator (ISS).
+
+The ISS is the architectural golden model: the gate-level CPU of
+:mod:`repro.cpu` is cross-validated against it instruction by instruction
+(same ISA, same memory map, same peripherals).  It executes concrete values
+only — symbolic execution lives in :mod:`repro.core.activity`, on the
+netlist, where the paper's analysis needs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.program import Program
+from repro.isa.spec import (
+    MODE_INDEXED,
+    MODE_INDIRECT,
+    MODE_INDIRECT_INC,
+    MODE_REGISTER,
+    PC,
+    SP,
+    SR,
+    SR_C,
+    SR_N,
+    SR_V,
+    SR_Z,
+    DecodedInstruction,
+    decode,
+)
+
+from repro.isa.memmap import (
+    MPY,
+    OP2,
+    P1IN,
+    P1OUT,
+    PERIPHERAL_END,
+    RESET_SP,
+    RESHI,
+    RESLO,
+    WDT_HOLD_KEY,
+    WDTCNT,
+    WDTCTL,
+)
+
+MASK16 = 0xFFFF
+
+
+class IssError(Exception):
+    """Illegal instruction, misaligned access, or runaway execution."""
+
+
+@dataclass
+class IssState:
+    """Architectural state snapshot (registers + flags come from regs[SR])."""
+
+    regs: list[int] = field(default_factory=lambda: [0] * 16)
+    memory: dict[int, int] = field(default_factory=dict)
+
+    def flag(self, bit: int) -> int:
+        return (self.regs[SR] >> bit) & 1
+
+    def set_flags(self, c=None, z=None, n=None, v=None) -> None:
+        sr = self.regs[SR]
+        for bit, value in ((SR_C, c), (SR_Z, z), (SR_N, n), (SR_V, v)):
+            if value is not None:
+                sr = (sr | (1 << bit)) if value else (sr & ~(1 << bit))
+        self.regs[SR] = sr & MASK16
+
+
+class InstructionSetSimulator:
+    """Executes a :class:`Program` and records per-instruction info."""
+
+    def __init__(self, program: Program, port_in: int = 0):
+        self.program = program
+        self.state = IssState()
+        self.state.regs[PC] = program.entry
+        self.state.regs[SP] = RESET_SP  # top of RAM
+        self.state.memory = dict(program.words)
+        self.port_in = port_in
+        self.wdt_hold = False
+        self.wdt_count = 0
+        self.mpy_op1 = 0
+        self.mpy_op2 = 0
+        self.res = 0
+        self.instructions = 0
+        self.cycles = 0
+        self.halted = False
+        #: (pc, disassembly-relevant word) executed, for traceability
+        self.executed_pcs: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Memory and peripherals
+    # ------------------------------------------------------------------
+    def read_word(self, address: int) -> int:
+        address &= MASK16
+        if address & 1:
+            raise IssError(f"misaligned word read at {address:#06x}")
+        if address < PERIPHERAL_END:
+            return self._peripheral_read(address)
+        return self.state.memory.get(address, 0)
+
+    def write_word(self, address: int, value: int) -> None:
+        address &= MASK16
+        if address & 1:
+            raise IssError(f"misaligned word write at {address:#06x}")
+        value &= MASK16
+        if address < PERIPHERAL_END:
+            self._peripheral_write(address, value)
+            return
+        self.state.memory[address] = value
+
+    def _peripheral_read(self, address: int) -> int:
+        if address == P1IN:
+            return self.port_in & MASK16
+        if address == P1OUT:
+            return self.state.memory.get(P1OUT, 0)
+        if address == WDTCTL:
+            return self.state.memory.get(WDTCTL, 0)
+        if address == WDTCNT:
+            return self.wdt_count & 0xFF
+        if address == MPY:
+            return self.mpy_op1
+        if address == OP2:
+            return self.mpy_op2
+        if address == RESLO:
+            return self.res & MASK16
+        if address == RESHI:
+            return (self.res >> 16) & MASK16
+        return self.state.memory.get(address, 0)
+
+    def _peripheral_write(self, address: int, value: int) -> None:
+        if address == WDTCTL:
+            self.wdt_hold = value == WDT_HOLD_KEY
+            self.state.memory[WDTCTL] = value
+        elif address == MPY:
+            self.mpy_op1 = value
+        elif address == OP2:
+            self.mpy_op2 = value
+            self.res = (self.mpy_op1 * self.mpy_op2) & 0xFFFFFFFF
+        else:
+            self.state.memory[address] = value
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _fetch(self) -> int:
+        word = self.read_word(self.state.regs[PC])
+        self.state.regs[PC] = (self.state.regs[PC] + 2) & MASK16
+        return word
+
+    def _src_operand(self, instr: DecodedInstruction) -> tuple[int, int | None, int]:
+        """Return (value, address-or-None, extra_cycles) for the source."""
+        regs = self.state.regs
+        if instr.is_constant_gen():
+            return instr.constant_value(), None, 0
+        if instr.as_mode == MODE_REGISTER:
+            return regs[instr.src], None, 0
+        if instr.as_mode == MODE_INDEXED:
+            ext = self._fetch()
+            base = 0 if instr.src == SR else regs[instr.src]
+            address = (base + ext) & MASK16
+            return self.read_word(address), address, 2
+        if instr.as_mode == MODE_INDIRECT:
+            address = regs[instr.src]
+            return self.read_word(address), address, 1
+        # MODE_INDIRECT_INC: @Rn+ (or #imm when Rn is the PC)
+        address = regs[instr.src]
+        value = self.read_word(address)
+        regs[instr.src] = (regs[instr.src] + 2) & MASK16
+        return value, address, 1
+
+    def step(self) -> None:
+        """Execute one instruction."""
+        if self.halted:
+            return
+        state = self.state
+        fetch_pc = state.regs[PC]
+        self.executed_pcs.append(fetch_pc)
+        word = self._fetch()
+        try:
+            instr = decode(word)
+        except ValueError as exc:
+            raise IssError(f"at {fetch_pc:#06x}: {exc}") from None
+        self.instructions += 1
+        self.cycles += 2  # fetch + dispatch
+
+        if instr.fmt == "J":
+            taken = self._jump_taken(instr.cond)
+            if instr.offset == -1 and instr.cond == 0b111:
+                self.halted = True  # `jmp $` — the end-of-app convention
+                return
+            if taken:
+                state.regs[PC] = (state.regs[PC] + 2 * instr.offset) & MASK16
+            self._tick_watchdog()
+            return
+
+        if instr.fmt == "II":
+            self._exec_format_ii(instr)
+            self._tick_watchdog()
+            return
+
+        self._exec_format_i(instr)
+        self._tick_watchdog()
+
+    def _tick_watchdog(self) -> None:
+        if not self.wdt_hold:
+            self.wdt_count = (self.wdt_count + 1) & 0xFF
+
+    def _jump_taken(self, cond: int) -> bool:
+        state = self.state
+        c, z = state.flag(SR_C), state.flag(SR_Z)
+        n, v = state.flag(SR_N), state.flag(SR_V)
+        return {
+            0b000: not z,
+            0b001: bool(z),
+            0b010: not c,
+            0b011: bool(c),
+            0b100: bool(n),
+            0b101: not (n ^ v),
+            0b110: bool(n ^ v),
+            0b111: True,
+        }[cond]
+
+    def _exec_format_ii(self, instr: DecodedInstruction) -> None:
+        state = self.state
+        if instr.mnemonic == "reti":
+            raise IssError("reti is not supported (no interrupt model)")
+        value, address, extra = self._src_operand(instr)
+        self.cycles += extra
+        mnemonic = instr.mnemonic
+        if mnemonic == "push":
+            state.regs[SP] = (state.regs[SP] - 2) & MASK16
+            self.write_word(state.regs[SP], value)
+            self.cycles += 1 if instr.as_mode == MODE_REGISTER else 1
+            return
+        if mnemonic == "call":
+            state.regs[SP] = (state.regs[SP] - 2) & MASK16
+            self.write_word(state.regs[SP], state.regs[PC])
+            state.regs[PC] = value & MASK16
+            self.cycles += 2
+            return
+        result, flags = self._shift_result(mnemonic, value)
+        self._writeback_format_ii(instr, address, result)
+        state.set_flags(**flags)
+
+    def _shift_result(self, mnemonic: str, value: int) -> tuple[int, dict]:
+        state = self.state
+        if mnemonic == "rra":
+            result = ((value >> 1) | (value & 0x8000)) & MASK16
+            return result, dict(
+                c=value & 1, z=result == 0, n=result >> 15, v=0
+            )
+        if mnemonic == "rrc":
+            result = ((value >> 1) | (state.flag(SR_C) << 15)) & MASK16
+            return result, dict(
+                c=value & 1, z=result == 0, n=result >> 15, v=0
+            )
+        if mnemonic == "swpb":
+            result = ((value << 8) | (value >> 8)) & MASK16
+            return result, {}
+        if mnemonic == "sxt":
+            result = (value & 0xFF) | (0xFF00 if value & 0x80 else 0)
+            return result, dict(
+                c=result != 0, z=result == 0, n=result >> 15, v=0
+            )
+        raise IssError(f"unhandled Format II mnemonic {mnemonic}")
+
+    def _writeback_format_ii(
+        self, instr: DecodedInstruction, address: int | None, result: int
+    ) -> None:
+        if instr.as_mode == MODE_REGISTER:
+            self.state.regs[instr.src] = result & MASK16
+        elif address is not None:
+            self.write_word(address, result)
+            self.cycles += 1
+        else:
+            raise IssError(f"{instr.mnemonic} cannot target a constant")
+
+    def _exec_format_i(self, instr: DecodedInstruction) -> None:
+        state = self.state
+        src_value, _src_addr, extra = self._src_operand(instr)
+        self.cycles += extra
+
+        if instr.ad_mode == 0:
+            dst_value = state.regs[instr.dst]
+            dst_addr = None
+        else:
+            ext = self._fetch()
+            base = 0 if instr.dst == SR else state.regs[instr.dst]
+            dst_addr = (base + ext) & MASK16
+            if instr.mnemonic == "mov":
+                dst_value = 0  # never read
+                self.cycles += 1
+            else:
+                dst_value = self.read_word(dst_addr)
+                self.cycles += 2
+
+        result, flags = self._alu(instr.mnemonic, src_value, dst_value)
+        writes_back = instr.mnemonic not in ("cmp", "bit")
+        if writes_back:
+            if dst_addr is None:
+                state.regs[instr.dst] = result & MASK16
+            else:
+                self.write_word(dst_addr, result)
+        state.set_flags(**flags)
+
+    def _alu(self, mnemonic: str, src: int, dst: int) -> tuple[int, dict]:
+        state = self.state
+        if mnemonic == "mov":
+            return src, {}
+        if mnemonic in ("add", "addc"):
+            carry_in = state.flag(SR_C) if mnemonic == "addc" else 0
+            total = dst + src + carry_in
+            result = total & MASK16
+            overflow = (~(dst ^ src) & (dst ^ result)) >> 15 & 1
+            return result, dict(
+                c=total >> 16, z=result == 0, n=result >> 15, v=overflow
+            )
+        if mnemonic in ("sub", "subc", "cmp"):
+            carry_in = state.flag(SR_C) if mnemonic == "subc" else 1
+            total = dst + (src ^ MASK16) + carry_in
+            result = total & MASK16
+            overflow = ((dst ^ src) & (dst ^ result)) >> 15 & 1
+            return result, dict(
+                c=total >> 16, z=result == 0, n=result >> 15, v=overflow
+            )
+        if mnemonic in ("and", "bit"):
+            result = dst & src
+            return result, dict(
+                c=result != 0, z=result == 0, n=result >> 15, v=0
+            )
+        if mnemonic == "xor":
+            result = (dst ^ src) & MASK16
+            return result, dict(
+                c=result != 0,
+                z=result == 0,
+                n=result >> 15,
+                v=(dst >> 15) & (src >> 15),
+            )
+        if mnemonic == "bis":
+            return (dst | src) & MASK16, {}
+        if mnemonic == "bic":
+            return dst & (src ^ MASK16), {}
+        if mnemonic == "dadd":
+            raise IssError("dadd is not supported in this subset")
+        raise IssError(f"unhandled Format I mnemonic {mnemonic}")
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def run(self, max_instructions: int = 200_000) -> IssState:
+        """Run until the ``jmp $`` halt convention; returns final state."""
+        for _ in range(max_instructions):
+            if self.halted:
+                return self.state
+            self.step()
+        raise IssError(
+            f"program {self.program.name} did not halt within "
+            f"{max_instructions} instructions"
+        )

@@ -1,0 +1,25 @@
+"""Peripheral memory map shared by the ISS and the gate-level CPU.
+
+Byte addresses, word-aligned, in the openMSP430 style: peripheral space
+below 0x0200, RAM at 0x0200-0x09FF, program flash at 0xF000-0xFFFF.
+"""
+
+P1IN = 0x0020
+P1OUT = 0x0022
+WDTCTL = 0x0120
+WDTCNT = 0x0122
+MPY = 0x0130
+OP2 = 0x0138
+RESLO = 0x013A
+RESHI = 0x013C
+DBG_CTL = 0x01F0
+PERIPHERAL_END = 0x0200
+
+RAM_START = 0x0200
+RAM_END = 0x0A00
+CODE_START = 0xF000
+
+WDT_HOLD_KEY = 0x5A80
+
+RESET_PC = 0xF000
+RESET_SP = 0x0A00

@@ -1,0 +1,196 @@
+"""MSP430 instruction encodings, register conventions, and decode.
+
+Encodings follow the real MSP430 format:
+
+* Format I  (two-operand):  ``oooo ssss ad bw as dddd``
+* Format II (single-operand): ``0001 00oo o bw as dddd``
+* Jump: ``001c cc oooooooooo`` (10-bit signed word offset)
+
+Registers r0-r3 have their architectural roles: r0=PC, r1=SP, r2=SR/CG1,
+r3=CG2.  The constant generators deliver 0, 1, 2, 4, 8 and -1 without an
+extension word, exactly as on real silicon — several of the paper's
+optimizations (e.g. OPT2's ``ADD #2, SP``) depend on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MASK16 = 0xFFFF
+
+PC, SP, SR, CG2 = 0, 1, 2, 3
+
+SR_C, SR_Z, SR_N, SR_V = 0, 1, 2, 8  # bit positions within the status register
+
+REG_NAMES = {0: "pc", 1: "sp", 2: "sr", 3: "cg2"}
+REG_NAMES.update({n: f"r{n}" for n in range(4, 16)})
+
+FORMAT_I_OPCODES = {
+    "mov": 0x4,
+    "add": 0x5,
+    "addc": 0x6,
+    "subc": 0x7,
+    "sub": 0x8,
+    "cmp": 0x9,
+    "dadd": 0xA,
+    "bit": 0xB,
+    "bic": 0xC,
+    "bis": 0xD,
+    "xor": 0xE,
+    "and": 0xF,
+}
+
+FORMAT_II_OPCODES = {
+    "rrc": 0b000,
+    "swpb": 0b001,
+    "rra": 0b010,
+    "sxt": 0b011,
+    "push": 0b100,
+    "call": 0b101,
+    "reti": 0b110,
+}
+
+COND_CODES = {
+    "jnz": 0b000,
+    "jne": 0b000,
+    "jz": 0b001,
+    "jeq": 0b001,
+    "jnc": 0b010,
+    "jlo": 0b010,
+    "jc": 0b011,
+    "jhs": 0b011,
+    "jn": 0b100,
+    "jge": 0b101,
+    "jl": 0b110,
+    "jmp": 0b111,
+}
+
+#: Canonical mnemonic for each condition code (for the disassembler).
+COND_NAMES = {0: "jnz", 1: "jz", 2: "jnc", 3: "jc", 4: "jn", 5: "jge", 6: "jl", 7: "jmp"}
+
+_FORMAT_I_NAMES = {v: k for k, v in FORMAT_I_OPCODES.items()}
+_FORMAT_II_NAMES = {v: k for k, v in FORMAT_II_OPCODES.items()}
+
+# Addressing modes (values of the As field; Ad uses 0/1 only).
+MODE_REGISTER = 0
+MODE_INDEXED = 1  # also absolute (&addr, via SR) and symbolic (via PC)
+MODE_INDIRECT = 2
+MODE_INDIRECT_INC = 3  # also immediate (#imm, via PC)
+
+
+def encode_format_i(
+    opcode: int, src: int, dst: int, as_mode: int, ad_mode: int, byte: bool = False
+) -> int:
+    if not 0x4 <= opcode <= 0xF:
+        raise ValueError(f"bad Format I opcode {opcode:#x}")
+    return (
+        (opcode << 12)
+        | (src << 8)
+        | (ad_mode << 7)
+        | (int(byte) << 6)
+        | (as_mode << 4)
+        | dst
+    )
+
+
+def encode_format_ii(opcode: int, reg: int, as_mode: int, byte: bool = False) -> int:
+    if not 0 <= opcode <= 0b111:
+        raise ValueError(f"bad Format II opcode {opcode}")
+    return 0x1000 | (opcode << 7) | (int(byte) << 6) | (as_mode << 4) | reg
+
+
+def encode_jump(cond: int, word_offset: int) -> int:
+    if not -512 <= word_offset <= 511:
+        raise ValueError(f"jump offset {word_offset} out of 10-bit range")
+    return 0x2000 | (cond << 10) | (word_offset & 0x3FF)
+
+
+@dataclass(frozen=True)
+class DecodedInstruction:
+    """Architectural view of one instruction word (extensions excluded)."""
+
+    fmt: str  # "I", "II", or "J"
+    mnemonic: str
+    src: int = 0
+    dst: int = 0
+    as_mode: int = 0
+    ad_mode: int = 0
+    byte: bool = False
+    cond: int = 0
+    offset: int = 0  # signed word offset for jumps
+
+    @property
+    def src_needs_ext(self) -> bool:
+        """Does the source operand consume an extension word?"""
+        if self.fmt == "J":
+            return False
+        if self.as_mode == MODE_INDEXED:
+            return self.src not in (CG2,)  # x(Rn), &abs, symbolic; CG 1 does not
+        if self.as_mode == MODE_INDIRECT_INC:
+            return self.src == PC  # immediate
+        return False
+
+    @property
+    def dst_needs_ext(self) -> bool:
+        return self.fmt == "I" and self.ad_mode == 1
+
+    @property
+    def n_words(self) -> int:
+        words = 1
+        if self.fmt in ("I", "II") and self.src_needs_ext:
+            words += 1
+        if self.dst_needs_ext:
+            words += 1
+        return words
+
+    def is_constant_gen(self) -> bool:
+        """True when the source operand comes from a constant generator."""
+        if self.fmt == "J":
+            return False
+        if self.src == CG2:
+            return True
+        return self.src == SR and self.as_mode in (MODE_INDIRECT, MODE_INDIRECT_INC)
+
+    def constant_value(self) -> int:
+        """The generated constant (only valid when is_constant_gen())."""
+        if self.src == CG2:
+            return {0: 0, 1: 1, 2: 2, 3: 0xFFFF}[self.as_mode]
+        return {MODE_INDIRECT: 4, MODE_INDIRECT_INC: 8}[self.as_mode]
+
+
+def decode(word: int) -> DecodedInstruction:
+    """Decode one 16-bit instruction word; raises ValueError on illegal."""
+    word &= MASK16
+    top = word >> 13
+    if top == 0b001:
+        cond = (word >> 10) & 0b111
+        offset = word & 0x3FF
+        if offset & 0x200:
+            offset -= 0x400
+        return DecodedInstruction(
+            fmt="J", mnemonic=COND_NAMES[cond], cond=cond, offset=offset
+        )
+    if (word >> 10) == 0b000100:
+        opcode = (word >> 7) & 0b111
+        if opcode not in _FORMAT_II_NAMES:
+            raise ValueError(f"illegal Format II opcode in {word:#06x}")
+        return DecodedInstruction(
+            fmt="II",
+            mnemonic=_FORMAT_II_NAMES[opcode],
+            src=word & 0xF,
+            dst=word & 0xF,
+            as_mode=(word >> 4) & 0b11,
+            byte=bool((word >> 6) & 1),
+        )
+    opcode = word >> 12
+    if opcode in _FORMAT_I_NAMES:
+        return DecodedInstruction(
+            fmt="I",
+            mnemonic=_FORMAT_I_NAMES[opcode],
+            src=(word >> 8) & 0xF,
+            dst=word & 0xF,
+            as_mode=(word >> 4) & 0b11,
+            ad_mode=(word >> 7) & 1,
+            byte=bool((word >> 6) & 1),
+        )
+    raise ValueError(f"illegal instruction word {word:#06x}")

@@ -1,0 +1,55 @@
+"""Three-valued (0 / 1 / X) logic used by the symbolic gate-level simulator.
+
+The paper's activity analysis propagates unknown values (``X``) for every
+signal that cannot be constrained by the application binary.  This package
+provides the scalar and vectorized (numpy) kernels for that logic system.
+"""
+
+from repro.logic.ternary import (
+    ONE,
+    TRIT_NAMES,
+    X,
+    ZERO,
+    Trit,
+    all_trits,
+    bus_to_int,
+    int_to_bus,
+    is_known,
+    refines,
+    t_and,
+    t_buf,
+    t_mux,
+    t_nand,
+    t_nor,
+    t_not,
+    t_or,
+    t_xnor,
+    t_xor,
+)
+from repro.logic.tables import BINARY_TABLES, MUX_TABLE, NOT_TABLE, table_for
+
+__all__ = [
+    "ZERO",
+    "ONE",
+    "X",
+    "Trit",
+    "TRIT_NAMES",
+    "all_trits",
+    "is_known",
+    "refines",
+    "t_and",
+    "t_or",
+    "t_xor",
+    "t_nand",
+    "t_nor",
+    "t_xnor",
+    "t_not",
+    "t_buf",
+    "t_mux",
+    "bus_to_int",
+    "int_to_bus",
+    "BINARY_TABLES",
+    "NOT_TABLE",
+    "MUX_TABLE",
+    "table_for",
+]

@@ -1,0 +1,68 @@
+"""Vectorized lookup tables for three-valued gate evaluation.
+
+The levelized simulator evaluates every gate of one type in one numpy
+operation: ``out = TABLE[a_values, b_values]``.  Tables are 3x3 uint8
+arrays (indexed by the 0/1/2 trit encoding) generated from the scalar
+semantics in :mod:`repro.logic.ternary`, so the two can never drift apart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.logic import ternary
+from repro.logic.ternary import all_trits
+
+_BINARY_FUNCS = {
+    "AND": ternary.t_and,
+    "OR": ternary.t_or,
+    "NAND": ternary.t_nand,
+    "NOR": ternary.t_nor,
+    "XOR": ternary.t_xor,
+    "XNOR": ternary.t_xnor,
+}
+
+
+def _build_binary_table(func) -> np.ndarray:
+    table = np.zeros((3, 3), dtype=np.uint8)
+    for a in all_trits():
+        for b in all_trits():
+            table[a, b] = func(a, b)
+    return table
+
+
+def _build_not_table() -> np.ndarray:
+    return np.array([ternary.t_not(a) for a in all_trits()], dtype=np.uint8)
+
+
+def _build_mux_table() -> np.ndarray:
+    table = np.zeros((3, 3, 3), dtype=np.uint8)
+    for sel in all_trits():
+        for a in all_trits():
+            for b in all_trits():
+                table[sel, a, b] = ternary.t_mux(sel, a, b)
+    return table
+
+
+BINARY_TABLES: dict[str, np.ndarray] = {
+    name: _build_binary_table(func) for name, func in _BINARY_FUNCS.items()
+}
+
+NOT_TABLE: np.ndarray = _build_not_table()
+
+BUF_TABLE: np.ndarray = np.array(all_trits(), dtype=np.uint8)
+
+MUX_TABLE: np.ndarray = _build_mux_table()
+
+
+def table_for(gate_type: str) -> np.ndarray:
+    """Return the lookup table for *gate_type* (e.g. ``"AND"``, ``"MUX"``)."""
+    if gate_type in BINARY_TABLES:
+        return BINARY_TABLES[gate_type]
+    if gate_type == "NOT":
+        return NOT_TABLE
+    if gate_type == "BUF":
+        return BUF_TABLE
+    if gate_type == "MUX":
+        return MUX_TABLE
+    raise KeyError(f"no lookup table for gate type {gate_type!r}")

@@ -1,0 +1,126 @@
+"""Scalar three-valued logic primitives.
+
+Values are plain ints for speed and easy numpy interop:
+
+* ``ZERO`` (0) — known logic low
+* ``ONE``  (1) — known logic high
+* ``X``    (2) — unknown; stands for *either* 0 or 1
+
+The operators implement the standard pessimistic (Kleene) semantics used by
+gate-level simulators: a gate output is known only when the known inputs
+force it (e.g. ``AND(0, X) == 0`` but ``AND(1, X) == X``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+Trit = int
+
+ZERO: Trit = 0
+ONE: Trit = 1
+X: Trit = 2
+
+TRIT_NAMES = {ZERO: "0", ONE: "1", X: "x"}
+
+_VALID = (ZERO, ONE, X)
+
+
+def all_trits() -> tuple[Trit, Trit, Trit]:
+    """Return the three logic values, in encoding order."""
+    return _VALID
+
+
+def is_known(value: Trit) -> bool:
+    """True when *value* is a concrete 0 or 1 rather than an X."""
+    return value == ZERO or value == ONE
+
+
+def refines(concrete: Trit, symbolic: Trit) -> bool:
+    """True when *concrete* is a legal resolution of *symbolic*.
+
+    An ``X`` may resolve to anything; a known value only to itself.  This is
+    the partial order underpinning the soundness argument of the paper: every
+    concrete-input simulation must refine the X-based symbolic simulation.
+    """
+    return symbolic == X or concrete == symbolic
+
+
+def t_not(a: Trit) -> Trit:
+    if a == X:
+        return X
+    return ONE - a
+
+
+def t_buf(a: Trit) -> Trit:
+    return a
+
+
+def t_and(a: Trit, b: Trit) -> Trit:
+    if a == ZERO or b == ZERO:
+        return ZERO
+    if a == ONE and b == ONE:
+        return ONE
+    return X
+
+
+def t_or(a: Trit, b: Trit) -> Trit:
+    if a == ONE or b == ONE:
+        return ONE
+    if a == ZERO and b == ZERO:
+        return ZERO
+    return X
+
+
+def t_nand(a: Trit, b: Trit) -> Trit:
+    return t_not(t_and(a, b))
+
+
+def t_nor(a: Trit, b: Trit) -> Trit:
+    return t_not(t_or(a, b))
+
+
+def t_xor(a: Trit, b: Trit) -> Trit:
+    if a == X or b == X:
+        return X
+    return a ^ b
+
+
+def t_xnor(a: Trit, b: Trit) -> Trit:
+    return t_not(t_xor(a, b))
+
+
+def t_mux(sel: Trit, a: Trit, b: Trit) -> Trit:
+    """2:1 multiplexer: returns *a* when ``sel == 0``, *b* when ``sel == 1``.
+
+    With an unknown select the output is known only if both data inputs
+    agree — the optimistic-X mux rule, which keeps the analysis tight
+    without sacrificing soundness.
+    """
+    if sel == ZERO:
+        return a
+    if sel == ONE:
+        return b
+    if a == b:
+        return a
+    return X
+
+
+def bus_to_int(bits: Sequence[Trit]) -> int | None:
+    """Interpret *bits* (LSB first) as an unsigned int; ``None`` if any X."""
+    value = 0
+    for position, bit in enumerate(bits):
+        if bit == X:
+            return None
+        value |= bit << position
+    return value
+
+
+def int_to_bus(value: int, width: int) -> list[Trit]:
+    """Encode *value* as a known LSB-first bit vector of *width* bits."""
+    return [(value >> position) & 1 for position in range(width)]
+
+
+def bus_known(bits: Iterable[Trit]) -> bool:
+    """True when every bit of the bus is a concrete 0 or 1."""
+    return all(is_known(bit) for bit in bits)

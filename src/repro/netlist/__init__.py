@@ -1,0 +1,22 @@
+"""Gate-level netlist representation, RTL builder, and structural Verilog I/O."""
+
+from repro.netlist.core import (
+    COMB_KINDS,
+    SOURCE_KINDS,
+    Gate,
+    Netlist,
+    NetlistError,
+)
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.verilog import parse_verilog, write_verilog
+
+__all__ = [
+    "Gate",
+    "Netlist",
+    "NetlistError",
+    "NetlistBuilder",
+    "COMB_KINDS",
+    "SOURCE_KINDS",
+    "parse_verilog",
+    "write_verilog",
+]

@@ -1,0 +1,314 @@
+"""RTL-style construction of gate-level netlists.
+
+The paper's flow synthesizes Verilog RTL to gates with Synopsys Design
+Compiler.  Our stand-in is this builder: Python code describes registers,
+adders, and muxes, and the builder elaborates them into 1- and 2-input
+gates (plus 2:1 muxes and DFFs) in a :class:`~repro.netlist.core.Netlist`.
+
+All buses are LSB-first lists of net ids.  A module context manager tags
+gates with hierarchical paths so per-module power breakdowns work exactly
+as in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from repro.netlist.core import Netlist, NetlistError
+
+Bus = list[int]
+
+
+class NetlistBuilder:
+    """Imperative netlist construction with hierarchical module scoping."""
+
+    def __init__(self, name: str = "design"):
+        self.netlist = Netlist(name=name)
+        self._module_stack: list[str] = []
+        self._const0: int | None = None
+        self._const1: int | None = None
+        self._pending_dffs: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Hierarchy and finalization
+    # ------------------------------------------------------------------
+    @contextmanager
+    def module(self, name: str) -> Iterator[None]:
+        """Scope subsequent gates under ``parent/name``."""
+        self._module_stack.append(name)
+        try:
+            yield
+        finally:
+            self._module_stack.pop()
+
+    @property
+    def current_module(self) -> str:
+        return "/".join(self._module_stack)
+
+    def finish(self) -> Netlist:
+        """Validate and return the completed netlist."""
+        if self._pending_dffs:
+            names = [self.netlist.gates[i].name or str(i) for i in self._pending_dffs]
+            raise NetlistError(f"DFFs never connected: {sorted(names)[:10]}")
+        self.netlist.validate()
+        self.netlist.levelize()  # raises on combinational cycles
+        return self.netlist
+
+    # ------------------------------------------------------------------
+    # Primitive gates
+    # ------------------------------------------------------------------
+    def _gate(self, kind: str, inputs: tuple[int, ...], name: str = "") -> int:
+        return self.netlist.add_gate(
+            kind, inputs, module=self.current_module, name=name
+        )
+
+    def input(self, name: str) -> int:
+        net = self._gate("INPUT", (), name=name)
+        self.netlist.inputs[name] = net
+        return net
+
+    def bus_input(self, name: str, width: int) -> Bus:
+        return [self.input(f"{name}[{i}]") for i in range(width)]
+
+    def output(self, name: str, net: int) -> None:
+        self.netlist.outputs[name] = net
+
+    def bus_output(self, name: str, bus: Bus) -> None:
+        for i, net in enumerate(bus):
+            self.output(f"{name}[{i}]", net)
+
+    def const0(self) -> int:
+        if self._const0 is None:
+            self._const0 = self.netlist.add_gate("CONST0", (), name="tie0")
+        return self._const0
+
+    def const1(self) -> int:
+        if self._const1 is None:
+            self._const1 = self.netlist.add_gate("CONST1", (), name="tie1")
+        return self._const1
+
+    def not_(self, a: int, name: str = "") -> int:
+        return self._gate("NOT", (a,), name)
+
+    def buf(self, a: int, name: str = "") -> int:
+        return self._gate("BUF", (a,), name)
+
+    def and_(self, a: int, b: int, name: str = "") -> int:
+        return self._gate("AND", (a, b), name)
+
+    def or_(self, a: int, b: int, name: str = "") -> int:
+        return self._gate("OR", (a, b), name)
+
+    def nand(self, a: int, b: int, name: str = "") -> int:
+        return self._gate("NAND", (a, b), name)
+
+    def nor(self, a: int, b: int, name: str = "") -> int:
+        return self._gate("NOR", (a, b), name)
+
+    def xor(self, a: int, b: int, name: str = "") -> int:
+        return self._gate("XOR", (a, b), name)
+
+    def xnor(self, a: int, b: int, name: str = "") -> int:
+        return self._gate("XNOR", (a, b), name)
+
+    def mux(self, sel: int, a: int, b: int, name: str = "") -> int:
+        """2:1 mux: *a* when sel=0, *b* when sel=1."""
+        return self._gate("MUX", (sel, a, b), name)
+
+    # ------------------------------------------------------------------
+    # Flip-flops and registers
+    # ------------------------------------------------------------------
+    def dff(self, d: int, name: str = "", reset_value: int = 0) -> int:
+        net = self.netlist.add_gate(
+            "DFF", (d,), module=self.current_module, name=name,
+            reset_value=reset_value,
+        )
+        return net
+
+    def dff_forward(self, name: str = "", reset_value: int = 0) -> int:
+        """Create a DFF whose D input will be wired later (self-loop now)."""
+        net = len(self.netlist.gates)
+        self.netlist.add_gate(
+            "DFF", (net,), module=self.current_module, name=name,
+            reset_value=reset_value,
+        )
+        self._pending_dffs.add(net)
+        return net
+
+    def connect_dff(self, dff_net: int, d: int) -> None:
+        if self.netlist.gates[dff_net].kind != "DFF":
+            raise NetlistError(f"net {dff_net} is not a DFF")
+        self.netlist.gates[dff_net].inputs = (d,)
+        self._pending_dffs.discard(dff_net)
+
+    def register(
+        self,
+        width: int,
+        name: str,
+        reset_value: int = 0,
+    ) -> Bus:
+        """A bank of forward-declared DFFs; wire D inputs via connect_bus."""
+        return [
+            self.dff_forward(
+                name=f"{name}[{i}]", reset_value=(reset_value >> i) & 1
+            )
+            for i in range(width)
+        ]
+
+    def connect_register(self, q_bus: Bus, d_bus: Bus) -> None:
+        if len(q_bus) != len(d_bus):
+            raise NetlistError("register width mismatch")
+        for q, d in zip(q_bus, d_bus):
+            self.connect_dff(q, d)
+
+    def register_with_enable(
+        self, q_bus: Bus, d_bus: Bus, enable: int
+    ) -> None:
+        """Wire a previously declared register as ``q <= en ? d : q``."""
+        held = [self.mux(enable, q, d) for q, d in zip(q_bus, d_bus)]
+        self.connect_register(q_bus, held)
+
+    # ------------------------------------------------------------------
+    # N-ary reductions
+    # ------------------------------------------------------------------
+    def _reduce(self, op, nets: Sequence[int]) -> int:
+        nets = list(nets)
+        if not nets:
+            raise NetlistError("empty reduction")
+        while len(nets) > 1:
+            nxt = [
+                op(nets[i], nets[i + 1]) for i in range(0, len(nets) - 1, 2)
+            ]
+            if len(nets) % 2:
+                nxt.append(nets[-1])
+            nets = nxt
+        return nets[0]
+
+    def and_n(self, nets: Sequence[int]) -> int:
+        return self._reduce(self.and_, nets)
+
+    def or_n(self, nets: Sequence[int]) -> int:
+        return self._reduce(self.or_, nets)
+
+    def xor_n(self, nets: Sequence[int]) -> int:
+        return self._reduce(self.xor, nets)
+
+    def nor_n(self, nets: Sequence[int]) -> int:
+        return self.not_(self.or_n(nets))
+
+    def nand_n(self, nets: Sequence[int]) -> int:
+        return self.not_(self.and_n(nets))
+
+    # ------------------------------------------------------------------
+    # Bus logic
+    # ------------------------------------------------------------------
+    def bus_const(self, value: int, width: int) -> Bus:
+        return [
+            self.const1() if (value >> i) & 1 else self.const0()
+            for i in range(width)
+        ]
+
+    def bus_not(self, a: Bus) -> Bus:
+        return [self.not_(bit) for bit in a]
+
+    def bus_and(self, a: Bus, b: Bus) -> Bus:
+        return [self.and_(x, y) for x, y in zip(a, b, strict=True)]
+
+    def bus_or(self, a: Bus, b: Bus) -> Bus:
+        return [self.or_(x, y) for x, y in zip(a, b, strict=True)]
+
+    def bus_xor(self, a: Bus, b: Bus) -> Bus:
+        return [self.xor(x, y) for x, y in zip(a, b, strict=True)]
+
+    def bus_mux(self, sel: int, a: Bus, b: Bus) -> Bus:
+        """Per-bit 2:1 mux: *a* when sel=0, *b* when sel=1."""
+        return [self.mux(sel, x, y) for x, y in zip(a, b, strict=True)]
+
+    def bus_mux_tree(self, sel_bits: Bus, options: Sequence[Bus]) -> Bus:
+        """2^n:1 bus mux. ``options[i]`` selected when sel equals i."""
+        options = list(options)
+        expected = 1 << len(sel_bits)
+        if len(options) != expected:
+            raise NetlistError(
+                f"mux tree needs {expected} options, got {len(options)}"
+            )
+        current = options
+        for sel in sel_bits:
+            current = [
+                self.bus_mux(sel, current[i], current[i + 1])
+                for i in range(0, len(current), 2)
+            ]
+        return current[0]
+
+    def bus_gate(self, enable: int, a: Bus) -> Bus:
+        """AND every bit of *a* with *enable*."""
+        return [self.and_(enable, bit) for bit in a]
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def half_adder(self, a: int, b: int) -> tuple[int, int]:
+        return self.xor(a, b), self.and_(a, b)
+
+    def full_adder(self, a: int, b: int, cin: int) -> tuple[int, int]:
+        axb = self.xor(a, b)
+        s = self.xor(axb, cin)
+        carry = self.or_(self.and_(a, b), self.and_(axb, cin))
+        return s, carry
+
+    def ripple_add(self, a: Bus, b: Bus, cin: int | None = None) -> tuple[Bus, int]:
+        """LSB-first ripple-carry adder; returns (sum bus, carry out)."""
+        if len(a) != len(b):
+            raise NetlistError("adder width mismatch")
+        carry = cin if cin is not None else self.const0()
+        out: Bus = []
+        for x, y in zip(a, b):
+            s, carry = self.full_adder(x, y, carry)
+            out.append(s)
+        return out, carry
+
+    def ripple_sub(self, a: Bus, b: Bus) -> tuple[Bus, int]:
+        """a - b via a + ~b + 1; carry-out is the MSP430-style ~borrow."""
+        return self.ripple_add(a, self.bus_not(b), self.const1())
+
+    def increment(self, a: Bus, amount: int = 1) -> Bus:
+        out, _carry = self.ripple_add(a, self.bus_const(amount, len(a)))
+        return out
+
+    def eq_const(self, a: Bus, value: int) -> int:
+        """One-hot comparator: out=1 iff bus equals the constant."""
+        terms = [
+            bit if (value >> i) & 1 else self.not_(bit)
+            for i, bit in enumerate(a)
+        ]
+        return self.and_n(terms)
+
+    def eq_bus(self, a: Bus, b: Bus) -> int:
+        return self.and_n([self.xnor(x, y) for x, y in zip(a, b, strict=True)])
+
+    def is_zero(self, a: Bus) -> int:
+        return self.nor_n(a)
+
+    def decoder(self, sel: Bus) -> list[int]:
+        """Full decoder: 2^n one-hot outputs from an n-bit (LSB-first) select.
+
+        Processing LSB first keeps the list in natural order: after bit k,
+        entry *i* covers select value *i* over bits 0..k.
+        """
+        lines = [self.const1()]
+        for bit in sel:
+            nbit = self.not_(bit)
+            lines = [self.and_(line, nbit) for line in lines] + [
+                self.and_(line, bit) for line in lines
+            ]
+        return lines
+
+    def shift_left_const(self, a: Bus, amount: int) -> Bus:
+        """Logical shift left by a constant (pads with tie-0)."""
+        zero = self.const0()
+        return [zero] * amount + a[: len(a) - amount]
+
+    def shift_right_const(self, a: Bus, amount: int, arithmetic: bool = False) -> Bus:
+        fill = a[-1] if arithmetic else self.const0()
+        return a[amount:] + [fill] * amount

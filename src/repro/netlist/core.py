@@ -1,0 +1,206 @@
+"""Core netlist data structures and levelization.
+
+A netlist is a flat list of gates.  Every gate drives exactly one net and
+the net id *is* the gate index, so fanout is implicit (any gate may list
+any net id among its inputs).  Hierarchy is recorded as a slash-separated
+module path on each gate — enough to reproduce the paper's per-module
+power breakdowns (frontend, exec_unit, mem_backbone, multiplier, ...).
+
+Gate kinds:
+
+======== ======================================================
+``INPUT``  primary input / externally forced net (memory dout, reset)
+``CONST0`` tie-low          ``CONST1`` tie-high
+``NOT`` ``BUF``             one-input combinational cells
+``AND`` ``OR`` ``NAND`` ``NOR`` ``XOR`` ``XNOR`` two-input cells
+``MUX``   2:1 mux, inputs ``(sel, a, b)``; output ``a`` when sel=0
+``DFF``   D flip-flop, inputs ``(d,)``; state element
+======== ======================================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+
+class NetlistError(Exception):
+    """Raised for malformed netlists (bad arity, combinational loops...)."""
+
+
+BINARY_KINDS = ("AND", "OR", "NAND", "NOR", "XOR", "XNOR")
+COMB_KINDS = BINARY_KINDS + ("NOT", "BUF", "MUX")
+SOURCE_KINDS = ("INPUT", "CONST0", "CONST1", "DFF")
+ALL_KINDS = COMB_KINDS + SOURCE_KINDS
+
+_ARITY = {
+    "INPUT": 0,
+    "CONST0": 0,
+    "CONST1": 0,
+    "NOT": 1,
+    "BUF": 1,
+    "DFF": 1,
+    "MUX": 3,
+}
+for _kind in BINARY_KINDS:
+    _ARITY[_kind] = 2
+
+
+@dataclass
+class Gate:
+    """One gate instance; ``index`` doubles as the id of the net it drives."""
+
+    index: int
+    kind: str
+    inputs: tuple[int, ...]
+    module: str = ""
+    name: str = ""
+    #: For DFFs: the value loaded while the global reset net is asserted.
+    reset_value: int = 0
+
+    def __post_init__(self):
+        if self.kind not in ALL_KINDS:
+            raise NetlistError(f"unknown gate kind {self.kind!r}")
+        expected = _ARITY[self.kind]
+        if len(self.inputs) != expected:
+            raise NetlistError(
+                f"gate {self.name or self.index} of kind {self.kind} expects "
+                f"{expected} inputs, got {len(self.inputs)}"
+            )
+
+
+@dataclass
+class Netlist:
+    """A flat gate-level design plus its named ports."""
+
+    gates: list[Gate] = field(default_factory=list)
+    #: name -> net id for externally forced nets (primary inputs).
+    inputs: dict[str, int] = field(default_factory=dict)
+    #: name -> net id for nets observed by the outside world.
+    outputs: dict[str, int] = field(default_factory=dict)
+    name: str = "design"
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    @property
+    def n_nets(self) -> int:
+        return len(self.gates)
+
+    def add_gate(
+        self,
+        kind: str,
+        inputs: tuple[int, ...] = (),
+        module: str = "",
+        name: str = "",
+        reset_value: int = 0,
+    ) -> int:
+        """Append a gate and return the id of the net it drives."""
+        index = len(self.gates)
+        self.gates.append(Gate(index, kind, inputs, module, name, reset_value))
+        return index
+
+    def dff_indices(self) -> list[int]:
+        return [g.index for g in self.gates if g.kind == "DFF"]
+
+    def comb_indices(self) -> list[int]:
+        return [g.index for g in self.gates if g.kind in COMB_KINDS]
+
+    def cell_gate_indices(self) -> list[int]:
+        """Gates that correspond to physical cells (everything but sources)."""
+        return [
+            g.index for g in self.gates if g.kind in COMB_KINDS or g.kind == "DFF"
+        ]
+
+    def validate(self) -> None:
+        """Check structural sanity: input references in range, no dangling."""
+        n = len(self.gates)
+        for gate in self.gates:
+            for net in gate.inputs:
+                if not 0 <= net < n:
+                    raise NetlistError(
+                        f"gate {gate.name or gate.index} references net {net} "
+                        f"outside the netlist (size {n})"
+                    )
+        for name, net in list(self.inputs.items()) + list(self.outputs.items()):
+            if not 0 <= net < n:
+                raise NetlistError(f"port {name} references invalid net {net}")
+
+    def levelize(self) -> list[list[int]]:
+        """Topologically order combinational gates into evaluation levels.
+
+        Sources (INPUT, CONST*, DFF outputs) are level -1 and not returned.
+        Raises :class:`NetlistError` on a combinational cycle.
+        """
+        level = [-1] * len(self.gates)
+        comb = self.comb_indices()
+        dependents: dict[int, list[int]] = defaultdict(list)
+        missing = {}
+        for index in comb:
+            gate = self.gates[index]
+            comb_fanin = [
+                net for net in gate.inputs if self.gates[net].kind in COMB_KINDS
+            ]
+            missing[index] = len(comb_fanin)
+            for net in comb_fanin:
+                dependents[net].append(index)
+
+        ready = [index for index in comb if missing[index] == 0]
+        for index in ready:
+            level[index] = 0
+        ordered_count = len(ready)
+        frontier = ready
+        while frontier:
+            next_frontier = []
+            for index in frontier:
+                for dep in dependents[index]:
+                    missing[dep] -= 1
+                    if missing[dep] == 0:
+                        gate = self.gates[dep]
+                        level[dep] = 1 + max(
+                            level[net]
+                            for net in gate.inputs
+                            if self.gates[net].kind in COMB_KINDS
+                        )
+                        next_frontier.append(dep)
+                        ordered_count += 1
+            frontier = next_frontier
+
+        if ordered_count != len(comb):
+            stuck = [i for i in comb if level[i] == -1][:10]
+            names = [self.gates[i].name or str(i) for i in stuck]
+            raise NetlistError(f"combinational cycle involving gates {names}")
+
+        depth = max((level[i] for i in comb), default=-1)
+        levels: list[list[int]] = [[] for _ in range(depth + 1)]
+        for index in comb:
+            levels[level[index]].append(index)
+        return levels
+
+    def module_of(self, net: int) -> str:
+        return self.gates[net].module
+
+    def top_modules(self) -> list[str]:
+        """First-level module names, e.g. ``frontend``, ``exec_unit``."""
+        tops = {
+            gate.module.split("/", 1)[0]
+            for gate in self.gates
+            if gate.module
+        }
+        return sorted(tops)
+
+    def gates_by_top_module(self) -> dict[str, list[int]]:
+        """Cell gates grouped by their first-level module (sources excluded)."""
+        groups: dict[str, list[int]] = defaultdict(list)
+        for index in self.cell_gate_indices():
+            gate = self.gates[index]
+            top = gate.module.split("/", 1)[0] if gate.module else "misc"
+            groups[top].append(index)
+        return dict(groups)
+
+    def stats(self) -> dict[str, int]:
+        """Gate-kind histogram, the netlist's size card."""
+        counts = Counter(gate.kind for gate in self.gates)
+        counts["total"] = len(self.gates)
+        counts["cells"] = len(self.cell_gate_indices())
+        return dict(counts)

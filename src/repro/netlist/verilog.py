@@ -1,0 +1,121 @@
+"""Structural Verilog writer/parser for netlists.
+
+The paper's toolflow hands a placed-and-routed ``.v`` netlist to the
+analysis.  We support the same interchange: a netlist can be dumped to a
+flat structural Verilog file (one cell instance per gate) and parsed back.
+Module hierarchy and DFF reset values survive the round trip via structured
+comments, so a design can be built once and shipped as ``.v``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.netlist.core import BINARY_KINDS, Gate, Netlist, NetlistError
+
+_PIN_NAMES = {
+    "NOT": ("A",),
+    "BUF": ("A",),
+    "DFF": ("D",),
+    "MUX": ("S", "A", "B"),
+}
+for _kind in BINARY_KINDS:
+    _PIN_NAMES[_kind] = ("A", "B")
+
+
+def _net_name(index: int) -> str:
+    return f"n{index}"
+
+
+def write_verilog(netlist: Netlist, path: str | Path) -> None:
+    """Write *netlist* as flat structural Verilog."""
+    lines = [f"// structural netlist: {netlist.name}", f"module {netlist.name} ();"]
+    if netlist.gates:
+        lines.append(f"  wire {', '.join(_net_name(g.index) for g in netlist.gates)};")
+    for name, net in sorted(netlist.inputs.items()):
+        lines.append(f"  // input {name} -> {_net_name(net)}")
+    for name, net in sorted(netlist.outputs.items()):
+        lines.append(f"  // output {name} -> {_net_name(net)}")
+    for gate in netlist.gates:
+        attrs = f" /* m:{gate.module} r:{gate.reset_value} n:{gate.name} */"
+        if gate.kind in ("INPUT", "CONST0", "CONST1"):
+            lines.append(
+                f"  {gate.kind} g{gate.index} (.Y({_net_name(gate.index)}));{attrs}"
+            )
+            continue
+        pins = _PIN_NAMES[gate.kind]
+        conns = [f".Y({_net_name(gate.index)})"] + [
+            f".{pin}({_net_name(net)})" for pin, net in zip(pins, gate.inputs)
+        ]
+        lines.append(f"  {gate.kind} g{gate.index} ({', '.join(conns)});{attrs}")
+    lines.append("endmodule")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+_INSTANCE_RE = re.compile(
+    r"^\s*(?P<kind>[A-Z01]+)\s+g(?P<index>\d+)\s*\((?P<conns>.*)\)\s*;"
+    r"(?:\s*/\*\s*m:(?P<module>\S*)\s+r:(?P<reset>\d)\s+n:(?P<name>[^*]*?)\s*\*/)?"
+)
+_PIN_RE = re.compile(r"\.(?P<pin>[A-Z])\(n(?P<net>\d+)\)")
+_PORT_RE = re.compile(r"^\s*//\s*(?P<dir>input|output)\s+(?P<name>\S+)\s*->\s*n(?P<net>\d+)")
+_MODULE_RE = re.compile(r"^\s*module\s+(?P<name>\w+)")
+
+
+def parse_verilog(path: str | Path) -> Netlist:
+    """Parse a netlist previously produced by :func:`write_verilog`."""
+    text = Path(path).read_text()
+    name = "design"
+    instances: dict[int, Gate] = {}
+    inputs: dict[str, int] = {}
+    outputs: dict[str, int] = {}
+    for line in text.splitlines():
+        module_match = _MODULE_RE.match(line)
+        if module_match:
+            name = module_match.group("name")
+            continue
+        port_match = _PORT_RE.match(line)
+        if port_match:
+            target = inputs if port_match.group("dir") == "input" else outputs
+            target[port_match.group("name")] = int(port_match.group("net"))
+            continue
+        inst_match = _INSTANCE_RE.match(line)
+        if not inst_match:
+            continue
+        kind = inst_match.group("kind")
+        index = int(inst_match.group("index"))
+        pins = dict(
+            (m.group("pin"), int(m.group("net")))
+            for m in _PIN_RE.finditer(inst_match.group("conns"))
+        )
+        if kind in ("INPUT", "CONST0", "CONST1"):
+            gate_inputs: tuple[int, ...] = ()
+        else:
+            order = _PIN_NAMES[kind]
+            try:
+                gate_inputs = tuple(pins[p] for p in order)
+            except KeyError as exc:
+                raise NetlistError(f"instance g{index} missing pin {exc}") from None
+        instances[index] = Gate(
+            index=index,
+            kind=kind,
+            inputs=gate_inputs,
+            module=inst_match.group("module") or "",
+            name=(inst_match.group("name") or "").strip(),
+            reset_value=int(inst_match.group("reset") or 0),
+        )
+
+    if not instances:
+        raise NetlistError(f"no gate instances found in {path}")
+    size = max(instances) + 1
+    missing = [i for i in range(size) if i not in instances]
+    if missing:
+        raise NetlistError(f"netlist has holes at indices {missing[:10]}")
+    netlist = Netlist(
+        gates=[instances[i] for i in range(size)],
+        inputs=inputs,
+        outputs=outputs,
+        name=name,
+    )
+    netlist.validate()
+    return netlist

@@ -1,0 +1,5 @@
+"""Activity-based gate-level power analysis (the PrimeTime stand-in)."""
+
+from repro.power.model import PowerModel, PowerTrace, design_tool_rating
+
+__all__ = ["PowerModel", "PowerTrace", "design_tool_rating"]

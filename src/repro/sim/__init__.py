@@ -1,0 +1,19 @@
+"""Levelized three-valued gate-level simulation."""
+
+from repro.sim.evaluator import LevelizedEvaluator
+from repro.sim.memory import MemoryXAddressError, TernaryMemory
+from repro.sim.machine import Machine, MemoryPorts
+from repro.sim.trace import CycleRecord, Trace
+from repro.sim.vcd import read_vcd, write_vcd
+
+__all__ = [
+    "LevelizedEvaluator",
+    "TernaryMemory",
+    "MemoryXAddressError",
+    "Machine",
+    "MemoryPorts",
+    "Trace",
+    "CycleRecord",
+    "write_vcd",
+    "read_vcd",
+]

@@ -1,0 +1,281 @@
+"""The clocked machine: netlist + behavioral memory + forced inputs.
+
+One :class:`Machine` instance is a complete simulatable system.  The same
+machine runs both modes of the paper:
+
+* **symbolic mode** — peripheral inputs forced to X, memory input regions
+  loaded as X (Algorithm 1's setting), and
+* **concrete mode** — all inputs concrete, used for input-based profiling,
+  validation, and the baselines.
+
+The machine is snapshot/restorable so the execution-tree explorer can fork
+at input-dependent branches, and hashable so visited states are memoized.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.logic import X
+from repro.netlist.core import Netlist
+from repro.sim.evaluator import LevelizedEvaluator
+from repro.sim.memory import TernaryMemory
+from repro.sim.trace import CycleRecord, Trace
+
+MASK16 = 0xFFFF
+
+
+@dataclass
+class MemoryPorts:
+    """Net ids wiring the netlist to the behavioral memory.
+
+    ``dout`` nets must be INPUT gates (the memory drives them); the rest
+    are ordinary netlist outputs sampled after each cycle settles.
+    """
+
+    addr: list[int]
+    din: list[int]
+    dout: list[int]
+    we: int
+    en: int
+
+
+@dataclass
+class _MemRequest:
+    """Memory control sampled at the end of a cycle (sync-SRAM timing)."""
+
+    addr: int | None = None
+    addr_known: bool = False
+    en: int = 0
+    we: int = 0
+    din_value: int = 0
+    din_xmask: int = MASK16
+
+
+def read_bus(values: np.ndarray, nets: list[int]) -> tuple[int, int]:
+    """Decode an LSB-first bus into ``(value, xmask)`` integers."""
+    value = 0
+    xmask = 0
+    for position, net in enumerate(nets):
+        bit = values[net]
+        if bit == X:
+            xmask |= 1 << position
+        elif bit:
+            value |= 1 << position
+    return value, xmask
+
+
+def force_bus(
+    values: np.ndarray, nets: list[int], value: int, xmask: int = 0
+) -> None:
+    """Drive an LSB-first bus of INPUT nets with a (value, xmask) word."""
+    for position, net in enumerate(nets):
+        if (xmask >> position) & 1:
+            values[net] = X
+        else:
+            values[net] = (value >> position) & 1
+
+
+class Machine:
+    """A complete clocked system: CPU netlist plus behavioral memory."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        ports: MemoryPorts,
+        evaluator: LevelizedEvaluator | None = None,
+        memory: TernaryMemory | None = None,
+    ):
+        self.netlist = netlist
+        self.ports = ports
+        self.evaluator = evaluator or LevelizedEvaluator(netlist)
+        self.memory = memory or TernaryMemory()
+        self.values = self.evaluator.fresh_values()
+        self.cycle = 0
+        #: Last-read memory word presented on the dout bus (sync SRAM reg).
+        self.dout_value = 0
+        self.dout_xmask = MASK16
+        self._request = _MemRequest()
+        self._prev_active = np.zeros(netlist.n_nets, dtype=bool)
+        #: Externally forced input nets (peripheral ports, irq lines, ...).
+        self.forced_inputs: dict[int, int] = {}
+        #: One-shot DFF load overrides {dff net: value}, consumed by the
+        #: next step().  The execution-tree explorer uses this to assume a
+        #: concrete value for an unknown status flag on each forked path.
+        self.next_dff_forces: dict[int, int] = {}
+        self._dff_pos = {
+            int(net): pos for pos, net in enumerate(self.evaluator.dff_out)
+        }
+        self.annotator = None
+        #: Extra annotations callback: machine -> dict, set by the CPU layer.
+
+    # ------------------------------------------------------------------
+    # State management (forking + memoization)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "values": self.values.copy(),
+            "memory": self.memory.copy(),
+            "cycle": self.cycle,
+            "dout_value": self.dout_value,
+            "dout_xmask": self.dout_xmask,
+            "request": _MemRequest(**vars(self._request)),
+            "prev_active": self._prev_active.copy(),
+            "forced_inputs": dict(self.forced_inputs),
+            "next_dff_forces": dict(self.next_dff_forces),
+        }
+
+    def restore(self, snap: dict[str, Any]) -> None:
+        self.values = snap["values"].copy()
+        self.memory = snap["memory"].copy()
+        self.cycle = snap["cycle"]
+        self.dout_value = snap["dout_value"]
+        self.dout_xmask = snap["dout_xmask"]
+        self._request = _MemRequest(**vars(snap["request"]))
+        self._prev_active = snap["prev_active"].copy()
+        self.forced_inputs = dict(snap["forced_inputs"])
+        self.next_dff_forces = dict(snap["next_dff_forces"])
+
+    def state_key(self) -> bytes:
+        """Architectural-state fingerprint for execution-tree memoization."""
+        return Machine.snapshot_state_key(
+            {
+                "values": self.values,
+                "dout_value": self.dout_value,
+                "dout_xmask": self.dout_xmask,
+                "memory": self.memory,
+                "request": self._request,
+            },
+            self.evaluator.dff_out,
+        )
+
+    @staticmethod
+    def snapshot_state_key(snap: dict, dff_out) -> bytes:
+        """State fingerprint of a snapshot dict (see :meth:`state_key`).
+
+        Covers everything that determines future behaviour: flip-flop
+        values, the registered memory-read word, the pending memory
+        request, and the full memory contents.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(snap["values"][dff_out].tobytes())
+        h.update(int(snap["dout_value"]).to_bytes(2, "little"))
+        h.update(int(snap["dout_xmask"]).to_bytes(2, "little"))
+        request = snap["request"]
+        h.update(
+            repr(
+                (
+                    request.addr,
+                    request.addr_known,
+                    request.en,
+                    request.we,
+                    request.din_value,
+                    request.din_xmask,
+                )
+            ).encode()
+        )
+        h.update(snap["memory"].digest())
+        return h.digest()
+
+    # ------------------------------------------------------------------
+    # Clocking
+    # ------------------------------------------------------------------
+    def _apply_inputs(self) -> None:
+        force_bus(
+            self.values, self.ports.dout, self.dout_value, self.dout_xmask
+        )
+        for net, value in self.forced_inputs.items():
+            self.values[net] = value
+
+    def _sample_memory_control(self) -> None:
+        addr_value, addr_xmask = read_bus(self.values, self.ports.addr)
+        request = _MemRequest()
+        request.addr_known = addr_xmask == 0
+        request.addr = addr_value if request.addr_known else None
+        request.en = int(self.values[self.ports.en])
+        request.we = int(self.values[self.ports.we])
+        request.din_value, request.din_xmask = read_bus(
+            self.values, self.ports.din
+        )
+        self._request = request
+        self._commit_write(request)
+
+    def _commit_write(self, request: _MemRequest) -> None:
+        if request.we == 0:
+            return
+        if request.we == 1:
+            self.memory.write(
+                request.addr if request.addr_known else None,
+                request.din_value,
+                request.din_xmask,
+            )
+        else:  # we == X: the store may or may not happen
+            self.memory.write_uncertain(
+                request.addr if request.addr_known else None,
+                request.din_value,
+                request.din_xmask,
+            )
+
+    def _serve_read(self) -> tuple[float, float]:
+        """Update the dout register; return (reads, writes) this cycle."""
+        request = self._request
+        reads = writes = 0.0
+        if request.en == 1:
+            value, xmask = self.memory.read(
+                request.addr if request.addr_known else None
+            )
+            self.dout_value, self.dout_xmask = value, xmask
+            reads = 1.0
+        elif request.en == X:
+            value, xmask = self.memory.read(
+                request.addr if request.addr_known else None
+            )
+            differs = (self.dout_value ^ value) | self.dout_xmask | xmask
+            self.dout_value &= ~differs & MASK16
+            self.dout_xmask = differs & MASK16
+            reads = 1.0  # conservative: the access may happen
+        if request.we in (1, X):
+            writes = 1.0
+        return reads, writes
+
+    def step(self, reset: bool = False, trace: Trace | None = None) -> CycleRecord:
+        """Advance one clock cycle and optionally record it into *trace*."""
+        prev_values = self.values.copy()
+        next_dff = self.evaluator.next_dff_values(self.values, reset)
+        if self.next_dff_forces:
+            for net, value in self.next_dff_forces.items():
+                next_dff[self._dff_pos[net]] = value
+            self.next_dff_forces = {}
+        mem_reads, mem_writes = self._serve_read()
+        self.values[self.evaluator.dff_out] = next_dff
+        self._apply_inputs()
+        self.evaluator.eval_comb(self.values)
+        active = self.evaluator.compute_activity(
+            prev_values, self.values, self._prev_active
+        )
+        self._sample_memory_control()
+        record = CycleRecord(
+            cycle=self.cycle,
+            values=self.values.copy(),
+            active=active,
+            mem_reads=mem_reads,
+            mem_writes=mem_writes,
+            annotations=self.annotator(self) if self.annotator else {},
+        )
+        self._prev_active = active
+        self.cycle += 1
+        if trace is not None:
+            trace.append(record)
+        return record
+
+    def reset_sequence(self, cycles: int = 2, trace: Trace | None = None) -> None:
+        """Hold reset for *cycles* clock edges (Algorithm 1 line 4)."""
+        for _ in range(cycles):
+            self.step(reset=True, trace=trace)
+
+    def peek_bus(self, nets: list[int]) -> tuple[int, int]:
+        return read_bus(self.values, nets)

@@ -1,0 +1,111 @@
+"""X-aware behavioral memory.
+
+The paper keeps program/data memory behavioral (the SRAM macro is not part
+of the gate-level power model) but fully participates in X propagation:
+memory cells not loaded from the binary start as X, loads from unknown
+addresses return X, and writes under an unknown write-enable conservatively
+merge old and new contents.
+
+Words are 16-bit, addressed by *word* address.  Each word carries an
+``xmask``: bit i set means bit i of the word is unknown.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+MASK16 = 0xFFFF
+
+
+class MemoryXAddressError(Exception):
+    """A store was attempted to a fully unknown address.
+
+    Soundly modeling it would require assuming *every* memory cell may have
+    changed, which destroys the analysis; the paper's benchmarks (and ours)
+    never store through an unconstrained pointer.
+    """
+
+
+class TernaryMemory:
+    """Word-addressed 16-bit memory where each bit may be 0, 1, or X."""
+
+    def __init__(self, n_words: int = 1 << 15):
+        self.n_words = n_words
+        self.words = np.zeros(n_words, dtype=np.uint16)
+        self.xmask = np.full(n_words, MASK16, dtype=np.uint16)
+
+    def copy(self) -> "TernaryMemory":
+        clone = TernaryMemory.__new__(TernaryMemory)
+        clone.n_words = self.n_words
+        clone.words = self.words.copy()
+        clone.xmask = self.xmask.copy()
+        return clone
+
+    def digest(self) -> bytes:
+        """Stable fingerprint used for execution-tree state memoization."""
+        h = hashlib.blake2b(digest_size=16)
+        h.update(self.words.tobytes())
+        h.update(self.xmask.tobytes())
+        return h.digest()
+
+    # ------------------------------------------------------------------
+    # Known-address accesses
+    # ------------------------------------------------------------------
+    def load_word(self, word_addr: int, value: int, xmask: int = 0) -> None:
+        """Initialize one word (used by the binary loader and input specs)."""
+        self.words[word_addr] = value & MASK16
+        self.xmask[word_addr] = xmask & MASK16
+
+    def read(self, word_addr: int | None) -> tuple[int, int]:
+        """Return ``(value, xmask)``; an unknown address reads as all-X."""
+        if word_addr is None:
+            return 0, MASK16
+        return int(self.words[word_addr]), int(self.xmask[word_addr])
+
+    def write(self, word_addr: int | None, value: int, xmask: int = 0) -> None:
+        if word_addr is None:
+            raise MemoryXAddressError(
+                "store to unknown (X) address; constrain the pointer or use "
+                "an input-independent address"
+            )
+        self.words[word_addr] = value & MASK16 & ~xmask
+        self.xmask[word_addr] = xmask & MASK16
+
+    def write_uncertain(self, word_addr: int | None, value: int, xmask: int = 0) -> None:
+        """Write under an X write-enable: the store may or may not happen.
+
+        Every bit where the old and new contents could differ becomes X.
+        """
+        if word_addr is None:
+            raise MemoryXAddressError(
+                "conditional store to unknown (X) address cannot be bounded"
+            )
+        old_value = int(self.words[word_addr])
+        old_x = int(self.xmask[word_addr])
+        new_value = value & MASK16
+        new_x = xmask & MASK16
+        differs = (old_value ^ new_value) | old_x | new_x
+        self.xmask[word_addr] = differs & MASK16
+        self.words[word_addr] = old_value & ~differs & MASK16
+
+    # ------------------------------------------------------------------
+    # Convenience for loaders and tests
+    # ------------------------------------------------------------------
+    def load_program(self, words_by_addr: dict[int, int]) -> None:
+        """Load concrete words keyed by *byte* address (must be even)."""
+        for byte_addr, value in words_by_addr.items():
+            if byte_addr % 2:
+                raise ValueError(f"misaligned program word at {byte_addr:#x}")
+            self.load_word(byte_addr >> 1, value, 0)
+
+    def read_byte_addr(self, byte_addr: int) -> tuple[int, int]:
+        return self.read(byte_addr >> 1)
+
+    def known_word(self, byte_addr: int) -> int:
+        """Read a word that must be fully known (testing helper)."""
+        value, xmask = self.read_byte_addr(byte_addr)
+        if xmask:
+            raise ValueError(f"word at {byte_addr:#x} has unknown bits {xmask:#06x}")
+        return value

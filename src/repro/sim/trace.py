@@ -1,0 +1,76 @@
+"""Cycle-by-cycle simulation records.
+
+A :class:`Trace` is the bridge between simulation and power analysis: for
+every simulated cycle it stores the settled net values (with Xs), the
+activity flags from the paper's marking rule, and the behavioral memory
+access energy.  Annotations (program counter, decoded instruction, frontend
+state) are attached by the CPU wrapper for the COI analysis of §3.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+@dataclass
+class CycleRecord:
+    """Everything captured about one simulated clock cycle."""
+
+    cycle: int
+    values: np.ndarray
+    active: np.ndarray
+    #: behavioral memory accesses this cycle (1.0 also for may-access
+    #: under an X enable — conservative, as peak analysis requires)
+    mem_reads: float
+    mem_writes: float
+    annotations: dict[str, Any] = field(default_factory=dict)
+
+
+class Trace:
+    """An ordered list of cycle records with matrix views for analysis."""
+
+    def __init__(self, n_nets: int):
+        self.n_nets = n_nets
+        self.records: list[CycleRecord] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, index: int) -> CycleRecord:
+        return self.records[index]
+
+    def append(self, record: CycleRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, other: "Trace") -> None:
+        self.records.extend(other.records)
+
+    def values_matrix(self) -> np.ndarray:
+        """(n_cycles, n_nets) uint8 matrix of settled values (0/1/X)."""
+        return np.stack([r.values for r in self.records])
+
+    def active_matrix(self) -> np.ndarray:
+        """(n_cycles, n_nets) bool matrix of the activity flags."""
+        return np.stack([r.active for r in self.records])
+
+    def mem_accesses(self) -> np.ndarray:
+        """(n_cycles, 2) array of [reads, writes] per cycle."""
+        return np.array(
+            [[r.mem_reads, r.mem_writes] for r in self.records]
+        ).reshape(-1, 2)
+
+    def annotation(self, key: str, default: Any = None) -> list[Any]:
+        return [r.annotations.get(key, default) for r in self.records]
+
+    def toggled_any(self) -> np.ndarray:
+        """Per-net flag: was the net active in *any* cycle of the trace?
+
+        This is the "potentially-toggled" gate set of Figure 3.4.
+        """
+        flags = np.zeros(self.n_nets, dtype=bool)
+        for record in self.records:
+            flags |= record.active
+        return flags

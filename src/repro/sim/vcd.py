@@ -1,0 +1,98 @@
+"""Minimal value-change-dump (VCD) writer and reader.
+
+Algorithm 2 of the paper materializes the even- and odd-cycle maximized
+activity profiles as VCD files before handing them to the power tool; we
+keep the same interchange format so the artifacts are inspectable with
+standard waveform viewers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.logic import X
+
+_VCD_CHARS = {0: "0", 1: "1", X: "x"}
+_CHAR_VALUES = {"0": 0, "1": 1, "x": X, "X": X, "z": X}
+
+
+def _identifier(index: int) -> str:
+    """Compact VCD identifier for net *index* (printable ASCII base-94)."""
+    chars = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, 94)
+        chars.append(chr(33 + rem))
+    return "".join(reversed(chars))
+
+
+def write_vcd(
+    values_matrix: np.ndarray,
+    path: str | Path,
+    net_names: list[str] | None = None,
+    timescale_ns: float = 10.0,
+    design: str = "design",
+) -> None:
+    """Write a (n_cycles, n_nets) 0/1/X matrix as a VCD file."""
+    n_cycles, n_nets = values_matrix.shape
+    names = net_names or [f"n{i}" for i in range(n_nets)]
+    idents = [_identifier(i) for i in range(n_nets)]
+    lines = [
+        "$date reproduction run $end",
+        f"$timescale {int(timescale_ns)}ns $end",
+        f"$scope module {design} $end",
+    ]
+    lines.extend(
+        f"$var wire 1 {ident} {name} $end"
+        for ident, name in zip(idents, names)
+    )
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+    previous = None
+    for cycle in range(n_cycles):
+        lines.append(f"#{cycle}")
+        row = values_matrix[cycle]
+        if previous is None:
+            changed = range(n_nets)
+        else:
+            changed = np.nonzero(row != previous)[0]
+        lines.extend(
+            f"{_VCD_CHARS[int(row[net])]}{idents[net]}" for net in changed
+        )
+        previous = row
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_vcd(path: str | Path) -> tuple[np.ndarray, list[str]]:
+    """Read a VCD produced by :func:`write_vcd`; returns (matrix, names)."""
+    names: list[str] = []
+    ident_to_index: dict[str, int] = {}
+    rows: list[np.ndarray] = []
+    current: np.ndarray | None = None
+    for raw in Path(path).read_text().splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("$var"):
+            parts = line.split()
+            ident, name = parts[3], parts[4]
+            ident_to_index[ident] = len(names)
+            names.append(name)
+            continue
+        if line.startswith("$"):
+            continue
+        if line.startswith("#"):
+            if current is not None:
+                rows.append(current.copy())
+            if current is None:
+                current = np.full(len(names), X, dtype=np.uint8)
+            continue
+        value_char, ident = line[0], line[1:]
+        if current is not None and ident in ident_to_index:
+            current[ident_to_index[ident]] = _CHAR_VALUES[value_char]
+    if current is not None:
+        rows.append(current.copy())
+    matrix = np.stack(rows) if rows else np.zeros((0, len(names)), dtype=np.uint8)
+    return matrix, names

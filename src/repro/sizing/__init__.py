@@ -1,0 +1,27 @@
+"""Energy harvester and battery sizing models (Chapter 1, Tables 5.1/5.2)."""
+
+from repro.sizing.models import (
+    BATTERY_TYPES,
+    HARVESTER_TYPES,
+    Battery,
+    Harvester,
+    SystemSizing,
+    battery_volume_mm3,
+    effective_capacity_fraction,
+    harvester_area_cm2,
+    reduction_table,
+    size_system,
+)
+
+__all__ = [
+    "Battery",
+    "Harvester",
+    "BATTERY_TYPES",
+    "HARVESTER_TYPES",
+    "harvester_area_cm2",
+    "battery_volume_mm3",
+    "effective_capacity_fraction",
+    "reduction_table",
+    "SystemSizing",
+    "size_system",
+]

@@ -1,0 +1,10 @@
+"""Shared fixtures: the elaborated CPU is expensive, build it once."""
+
+import pytest
+
+from repro.cpu import build_ulp430
+
+
+@pytest.fixture(scope="session")
+def cpu():
+    return build_ulp430()

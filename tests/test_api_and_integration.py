@@ -1,0 +1,129 @@
+"""API pipeline, cyclic peak energy, CPU Verilog round-trip, and runner
+cache integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.asm import assemble
+from repro.cells import SG65
+from repro.core import analyze, explore
+from repro.core.peakenergy import (
+    UnboundedEnergyError,
+    compute_peak_energy,
+    worst_case_average_power_mw,
+)
+from repro.core.peakpower import compute_peak_power
+from repro.netlist import parse_verilog, write_verilog
+from repro.power import PowerModel
+from repro.sim import LevelizedEvaluator
+
+
+@pytest.fixture(scope="module")
+def model(cpu):
+    return PowerModel(cpu.netlist, SG65, clock_ns=10.0)
+
+
+WAIT_LOOP = """
+        .equ WDTCTL, 0x0120
+        .org 0xF000
+start:  mov #0x5A80, &WDTCTL
+        mov #inp, r4
+again:  mov @r4, r5
+        tst r5
+        jnz again
+        mov #1, r6
+end:    jmp end
+        .org 0x0240
+inp:    .input 1
+"""
+
+
+class TestCyclicPeakEnergy:
+    @pytest.fixture(scope="class")
+    def cyclic(self, cpu, model):
+        tree = explore(cpu, assemble(WAIT_LOOP, "wait"))
+        peak = compute_peak_power(tree, model)
+        return tree, peak
+
+    def test_cycle_detected(self, cyclic):
+        tree, _peak = cyclic
+        assert tree.is_cyclic()
+
+    def test_unbounded_without_loop_bound(self, cyclic):
+        tree, peak = cyclic
+        with pytest.raises(UnboundedEnergyError, match="loop_bound"):
+            compute_peak_energy(tree, peak)
+
+    def test_energy_grows_with_loop_bound(self, cyclic):
+        tree, peak = cyclic
+        small = compute_peak_energy(tree, peak, loop_bound=2)
+        large = compute_peak_energy(tree, peak, loop_bound=6)
+        assert large.peak_energy_pj > small.peak_energy_pj
+        assert large.path_cycles > small.path_cycles
+
+    def test_worst_case_average_power(self, cyclic):
+        tree, peak = cyclic
+        result = compute_peak_energy(tree, peak, loop_bound=3)
+        average = worst_case_average_power_mw(result)
+        assert 0 < average <= peak.peak_power_mw + 1e-9
+
+
+class TestAnalyzeApi:
+    def test_report_fields_consistent(self, cpu, model):
+        program = assemble(WAIT_LOOP.replace("jnz again", "jz  done\ndone:"), "api")
+        report = analyze(cpu, program, model)
+        assert report.program_name == "api"
+        assert report.peak_power_mw == report.peak_power.peak_power_mw
+        assert report.peak_energy_pj == report.peak_energy.peak_energy_pj
+        assert "peak power" in report.summary()
+
+    def test_loop_bound_forwarded(self, cpu, model):
+        report = analyze(cpu, assemble(WAIT_LOOP, "apiloop"), model, loop_bound=2)
+        assert report.peak_energy.path_cycles > 0
+
+
+class TestCpuVerilogRoundTrip:
+    def test_full_core_survives_export(self, cpu, tmp_path):
+        path = tmp_path / "ulp430.v"
+        write_verilog(cpu.netlist, path)
+        parsed = parse_verilog(path)
+        assert len(parsed.gates) == len(cpu.netlist.gates)
+        assert parsed.stats() == cpu.netlist.stats()
+        assert parsed.gates_by_top_module().keys() == (
+            cpu.netlist.gates_by_top_module().keys()
+        )
+
+    def test_parsed_core_evaluates_identically(self, cpu, tmp_path):
+        path = tmp_path / "ulp430.v"
+        write_verilog(cpu.netlist, path)
+        parsed = parse_verilog(path)
+        original = LevelizedEvaluator(cpu.netlist)
+        loaded = LevelizedEvaluator(parsed)
+        v1 = original.fresh_values()
+        v2 = loaded.fresh_values()
+        rng = np.random.default_rng(17)
+        for name, net in cpu.netlist.inputs.items():
+            v1[net] = v2[net] = rng.integers(0, 3)
+        original.eval_comb(v1)
+        loaded.eval_comb(v2)
+        assert np.array_equal(v1, v2)
+
+
+class TestRunnerCache:
+    def test_cache_roundtrip(self, tmp_path, monkeypatch):
+        from repro.bench import runner
+
+        monkeypatch.setattr(runner, "CACHE_DIR", tmp_path / "cache")
+        calls = {"n": 0}
+
+        def compute():
+            calls["n"] += 1
+            return {"value": 42}
+
+        first = runner._cached("unit_test_key", compute)
+        runner._memory_cache.pop("unit_test_key")
+        second = runner._cached("unit_test_key", compute)  # from disk
+        third = runner._cached("unit_test_key", compute)  # from memory
+        assert first == second == third
+        assert calls["n"] == 1
+        runner._memory_cache.pop("unit_test_key", None)

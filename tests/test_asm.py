@@ -1,0 +1,182 @@
+"""Assembler, disassembler, and ISS unit tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm import AssemblyError, assemble, disassemble_at
+from repro.isa import InstructionSetSimulator, decode
+from repro.isa.spec import (
+    DecodedInstruction,
+    encode_format_i,
+    encode_format_ii,
+    encode_jump,
+)
+
+
+def one(body: str):
+    return assemble(f".org 0xF000\n{body}\nend: jmp end\n", "t")
+
+
+class TestEncodings:
+    def test_mov_reg_reg(self):
+        program = one("mov r4, r5")
+        assert program.words[0xF000] == 0x4405
+
+    def test_constant_generators_use_no_ext_word(self):
+        for imm, expected_len in ((0, 1), (1, 1), (2, 1), (4, 1), (8, 1), (-1, 1), (5, 2)):
+            program = one(f"mov #{imm}, r4")
+            instr = decode(program.words[0xF000])
+            assert instr.n_words == expected_len, imm
+
+    def test_emulated_nop(self):
+        program = one("nop")
+        assert decode(program.words[0xF000]).mnemonic == "mov"
+
+    def test_emulated_pop_and_ret(self):
+        program = one("pop r7")
+        instr = decode(program.words[0xF000])
+        assert (instr.src, instr.as_mode, instr.dst) == (1, 3, 7)
+        program = one("ret")
+        instr = decode(program.words[0xF000])
+        assert (instr.src, instr.as_mode, instr.dst) == (1, 3, 0)
+
+    def test_jump_offset_encoding(self):
+        program = assemble(
+            ".org 0xF000\nhere: jmp here\nend: jmp end\n", "t"
+        )
+        instr = decode(program.words[0xF000])
+        assert instr.offset == -1
+
+    def test_byte_mode_rejected(self):
+        with pytest.raises(AssemblyError, match="byte-mode"):
+            one("mov.b r4, r5")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            one("frobnicate r4")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblyError, match="undefined symbol"):
+            one("mov #nowhere, r4")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble(".org 0xF000\na: nop\na: nop\nend: jmp end\n", "t")
+
+    def test_input_regions_recorded(self):
+        program = assemble(
+            ".org 0xF000\nend: jmp end\n.org 0x0240\nbuf: .input 3\n", "t"
+        )
+        assert program.input_regions == [(0x0240, 3)]
+        assert program.n_input_words == 3
+
+    def test_with_inputs(self):
+        program = assemble(
+            ".org 0xF000\nend: jmp end\n.org 0x0240\nbuf: .input 2\n", "t"
+        )
+        concrete = program.with_inputs([7, 9])
+        assert concrete.words[0x0240] == 7
+        assert concrete.words[0x0242] == 9
+        with pytest.raises(ValueError):
+            program.with_inputs([1])
+
+    def test_word_directive_with_labels(self):
+        program = assemble(
+            ".org 0xF000\nend: jmp end\ndata: .word end, 5\n", "t"
+        )
+        assert program.words[0xF002] == 0xF000
+
+
+class TestDecodeRoundTrip:
+    @given(
+        opcode=st.integers(min_value=4, max_value=15),
+        src=st.integers(min_value=0, max_value=15),
+        dst=st.integers(min_value=0, max_value=15),
+        as_mode=st.integers(min_value=0, max_value=3),
+        ad_mode=st.integers(min_value=0, max_value=1),
+    )
+    def test_format_i(self, opcode, src, dst, as_mode, ad_mode):
+        word = encode_format_i(opcode, src, dst, as_mode, ad_mode)
+        instr = decode(word)
+        assert instr.fmt == "I"
+        assert (instr.src, instr.dst) == (src, dst)
+        assert (instr.as_mode, instr.ad_mode) == (as_mode, ad_mode)
+
+    @given(
+        opcode=st.integers(min_value=0, max_value=6),
+        reg=st.integers(min_value=0, max_value=15),
+        as_mode=st.integers(min_value=0, max_value=3),
+    )
+    def test_format_ii(self, opcode, reg, as_mode):
+        word = encode_format_ii(opcode, reg, as_mode)
+        instr = decode(word)
+        assert instr.fmt == "II"
+        assert instr.src == reg
+
+    @given(
+        cond=st.integers(min_value=0, max_value=7),
+        offset=st.integers(min_value=-512, max_value=511),
+    )
+    def test_jump(self, cond, offset):
+        instr = decode(encode_jump(cond, offset))
+        assert instr.fmt == "J"
+        assert instr.offset == offset
+
+    def test_illegal_word(self):
+        with pytest.raises(ValueError):
+            decode(0x0000)
+
+
+class TestDisassembler:
+    def test_round_trip_simple(self):
+        source = """
+        .org 0xF000
+        mov #0x1234, r4
+        add r4, r5
+        push r6
+        rra r7
+end:    jmp end
+"""
+        program = assemble(source, "t")
+        text, n = disassemble_at(program.words, 0xF000)
+        assert text == "mov #4660, r4" and n == 2
+        text, _ = disassemble_at(program.words, 0xF004)
+        assert text == "add r4, r5"
+        text, _ = disassemble_at(program.words, 0xF006)
+        assert text == "push r6"
+        text, _ = disassemble_at(program.words, 0xF008)
+        assert text == "rra r7"
+
+    def test_unknown_address(self):
+        assert disassemble_at({}, 0x1000) == ("?", 1)
+
+
+class TestIssBehaviour:
+    def test_halt_detection(self):
+        iss = InstructionSetSimulator(one("nop"))
+        iss.run()
+        assert iss.halted
+
+    def test_runaway_raises(self):
+        program = assemble(
+            ".org 0xF000\nloop: add #1, r4\n jmp loop\nend: jmp end\n", "t"
+        )
+        iss = InstructionSetSimulator(program)
+        with pytest.raises(Exception, match="did not halt"):
+            iss.run(max_instructions=100)
+
+    def test_watchdog_stops_counting_when_held(self):
+        program = one("mov #0x5A80, &0x0120\n nop\n nop")
+        iss = InstructionSetSimulator(program)
+        iss.run()
+        counted = iss.wdt_count
+        assert counted <= 2  # only instructions before the hold took effect
+
+    def test_multiplier_chain(self):
+        program = one(
+            "mov #7, &0x0130\n mov #6, &0x0138\n mov &0x013A, r4"
+        )
+        iss = InstructionSetSimulator(program)
+        iss.run()
+        assert iss.state.regs[4] == 42

@@ -1,0 +1,54 @@
+"""CLI smoke tests (analyze / profile / coi subcommands)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SOURCE = """
+        .equ WDTCTL, 0x0120
+        .org 0xF000
+start:  mov #0x5A80, &WDTCTL
+        mov #inp, r4
+        add @r4+, r5
+        add @r4, r5
+        mov r5, &0x0300
+end:    jmp end
+        .org 0x0240
+inp:    .input 2
+"""
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "demo.asm"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze(self, program_file, capsys):
+        assert main(["analyze", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "peak power" in out and "mW" in out
+
+    def test_analyze_writes_vcds(self, program_file, tmp_path, capsys):
+        vcd_dir = tmp_path / "vcds"
+        assert main(["analyze", program_file, "--vcd-dir", str(vcd_dir)]) == 0
+        assert (vcd_dir / "even.vcd").exists()
+        assert (vcd_dir / "odd.vcd").exists()
+
+    def test_profile(self, program_file, capsys):
+        assert main(
+            ["profile", program_file, "--inputs", "1,2", "--inputs", "0xFFFF,3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "guardbanded" in out
+
+    def test_coi(self, program_file, capsys):
+        assert main(["coi", program_file, "--count", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "executing" in out

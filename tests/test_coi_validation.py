@@ -1,0 +1,121 @@
+"""COI analysis (§3.5) and validation-plumbing (§3.4) unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.asm import assemble
+from repro.cells import SG65
+from repro.core import analyze
+from repro.core.coi import cycles_of_interest, dominant_modules
+from repro.core.validation import (
+    PathMismatchError,
+    follow_path,
+    run_concrete,
+    validate_power_bound,
+    validate_toggles,
+)
+from repro.power import PowerModel
+
+
+@pytest.fixture(scope="module")
+def model(cpu):
+    return PowerModel(cpu.netlist, SG65, clock_ns=10.0)
+
+
+SOURCE = """
+        .equ WDTCTL, 0x0120
+        .org 0xF000
+start:  mov #0x5A80, &WDTCTL
+        mov #inp, r4
+        mov @r4+, r5
+        mov @r4, r6
+        cmp r6, r5
+        jz  same
+        mov r5, &0x0130     ; MPY
+        mov r6, &0x0138     ; OP2
+        nop
+        mov &0x013A, r7
+same:   mov r7, &0x0300
+end:    jmp end
+        .org 0x0240
+inp:    .input 2
+"""
+
+
+@pytest.fixture(scope="module")
+def report(cpu, model):
+    return analyze(cpu, assemble(SOURCE, "coit"), model)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return assemble(SOURCE, "coit")
+
+
+class TestCoi:
+    def test_reports_sorted_by_cycle_and_separated(self, report, program):
+        reports = cycles_of_interest(
+            report.tree, report.peak_power, program, count=4, min_separation=3
+        )
+        cycles = [r.flat_cycle for r in reports]
+        assert cycles == sorted(cycles)
+        assert all(b - a >= 3 for a, b in zip(cycles, cycles[1:]))
+
+    def test_top_report_is_the_peak(self, report, program):
+        reports = cycles_of_interest(
+            report.tree, report.peak_power, program, count=3
+        )
+        best = max(reports, key=lambda r: r.power_mw)
+        assert best.power_mw == pytest.approx(report.peak_power_mw)
+
+    def test_instructions_resolved(self, report, program):
+        reports = cycles_of_interest(
+            report.tree, report.peak_power, program, count=3
+        )
+        for coi in reports:
+            address, text = coi.executing
+            assert address is None or address in range(0xF000, 0xF100)
+            assert text
+
+    def test_dominant_modules_ranking(self, report, program):
+        reports = cycles_of_interest(
+            report.tree, report.peak_power, program, count=5
+        )
+        ranked = dominant_modules(reports)
+        assert ranked[0] in {"exec_unit", "mem_backbone", "multiplier", "frontend"}
+
+    def test_describe_is_readable(self, report, program):
+        coi = cycles_of_interest(
+            report.tree, report.peak_power, program, count=1
+        )[0]
+        text = coi.describe()
+        assert "mW" in text and "executing" in text
+
+
+class TestFollowPath:
+    def test_concrete_runs_map_onto_tree(self, cpu, report, program):
+        for inputs in ([1, 1], [1, 2], [9, 4]):
+            concrete = run_concrete(cpu, program, inputs)
+            path = follow_path(cpu, report.tree, concrete)
+            assert len(path) == len(concrete)
+            # indices must be valid and strictly within the flat trace
+            assert min(path) >= 0 and max(path) < report.tree.n_cycles
+
+    def test_equal_inputs_take_the_short_path(self, cpu, report, program):
+        same = run_concrete(cpu, program, [5, 5])
+        differ = run_concrete(cpu, program, [5, 6])
+        assert len(same) < len(differ)
+
+    def test_power_bound_alignment(self, cpu, report, model, program):
+        concrete = run_concrete(cpu, program, [3, 8])
+        result = validate_power_bound(
+            cpu, report.tree, report.peak_power, model, concrete
+        )
+        assert result.n_cycles == len(concrete)
+        assert result.is_bound
+
+    def test_toggle_sets(self, cpu, report, program):
+        concrete = run_concrete(cpu, program, [7, 7])
+        toggles = validate_toggles(report.tree, concrete)
+        assert toggles.is_superset
+        assert toggles.n_common > 500  # the core genuinely ran

@@ -1,0 +1,394 @@
+"""Differential tests: gate-level CPU vs the behavioral ISS.
+
+Every test assembles a small program, runs it on both models, and compares
+the full architectural state (registers, flags, RAM).  The ISS is simple
+enough to trust by inspection; agreement means the 6k-gate netlist
+implements the ISA.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.isa import InstructionSetSimulator
+from repro.isa.memmap import P1OUT, RAM_START, RESLO, RESHI
+from repro.isa.spec import SR_C, SR_N, SR_V, SR_Z
+
+HEADER = """
+        .equ WDTCTL, 0x0120
+        .org 0xF000
+start:  mov #0x5A80, &WDTCTL
+"""
+
+FOOTER = """
+end:    jmp end
+"""
+
+
+def run_both(cpu, body: str, max_cycles: int = 20_000, port_in: int = 0):
+    program = assemble(HEADER + body + FOOTER, "difftest")
+    iss = InstructionSetSimulator(program, port_in=port_in)
+    iss.run()
+    machine = cpu.make_machine(program, symbolic_inputs=False, port_in=port_in)
+    cpu.run_to_halt(machine, max_cycles=max_cycles)
+    return iss, machine
+
+
+def assert_state_matches(cpu, iss, machine, check_flags: bool = True):
+    registers = cpu.read_registers(machine)
+    for index in range(4, 16):
+        value, xmask = registers[index]
+        assert xmask == 0, f"r{index} has unknown bits {xmask:#06x}"
+        assert value == iss.state.regs[index], (
+            f"r{index}: gate={value:#06x} iss={iss.state.regs[index]:#06x}"
+        )
+    sp_value, sp_xmask = registers[1]
+    assert sp_xmask == 0
+    assert sp_value == iss.state.regs[1]
+    if check_flags:
+        sr_value, sr_xmask = registers[2]
+        for bit, name in ((SR_C, "C"), (SR_Z, "Z"), (SR_N, "N"), (SR_V, "V")):
+            if not (sr_xmask >> bit) & 1:
+                assert ((sr_value >> bit) & 1) == iss.state.flag(bit), name
+    for address, expected in sorted(iss.state.memory.items()):
+        if not RAM_START <= address < 0xF000:
+            continue
+        got_value, got_xmask = machine.memory.read_byte_addr(address)
+        assert got_xmask == 0, f"mem[{address:#06x}] unknown"
+        assert got_value == expected, (
+            f"mem[{address:#06x}]: gate={got_value:#06x} iss={expected:#06x}"
+        )
+
+
+class TestArithmetic:
+    def test_add_sub_chain(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #100, r4
+        mov #17, r5
+        add r5, r4
+        sub #8, r4
+        mov r4, &0x0300
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[4] == 109
+
+    def test_addc_subc_use_carry(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #0xFFFF, r4
+        add #1, r4          ; sets carry, r4=0
+        mov #5, r5
+        addc #0, r5         ; r5 = 6
+        mov #3, r6
+        sub #5, r6          ; borrow -> C=0
+        mov #10, r7
+        subc #0, r7         ; r7 = 10 - 0 - 1 = 9
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[5] == 6
+        assert iss.state.regs[7] == 9
+
+    def test_cmp_sets_flags_only(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #7, r4
+        cmp #7, r4
+        jz taken
+        mov #1, r5
+taken:  mov #2, r6
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[5] == 0
+        assert iss.state.regs[6] == 2
+
+    def test_logic_ops(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #0x0F0F, r4
+        mov #0x00FF, r5
+        and r4, r5          ; 0x000F
+        mov #0x0F0F, r6
+        bis #0x1000, r6
+        bic #0x000F, r6
+        mov #0xAAAA, r7
+        xor #0xFFFF, r7
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[5] == 0x000F
+        assert iss.state.regs[6] == 0x1F00
+        assert iss.state.regs[7] == 0x5555
+
+    def test_overflow_flag(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #0x7FFF, r4
+        add #1, r4          ; N=1, V=1 -> N^V=0, so JGE is taken
+        jge no_ovf
+        mov #1, r5          ; skipped
+no_ovf: mov #2, r6
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[5] == 0
+        assert iss.state.regs[6] == 2
+
+
+class TestAddressingModes:
+    def test_indexed_load_store(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #0x0300, r4
+        mov #11, 0(r4)
+        mov #22, 2(r4)
+        mov 0(r4), r5
+        add 2(r4), r5
+        mov r5, 4(r4)
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.read_word(0x0304) == 33
+
+    def test_absolute(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #77, &0x0320
+        mov &0x0320, r9
+        add #1, &0x0320
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.read_word(0x0320) == 78
+
+    def test_indirect_and_autoincrement(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #0x0340, r4
+        mov #5, 0(r4)
+        mov #6, 2(r4)
+        mov @r4, r5
+        mov @r4+, r6
+        mov @r4+, r7
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert (iss.state.regs[5], iss.state.regs[6], iss.state.regs[7]) == (5, 5, 6)
+        assert iss.state.regs[4] == 0x0344
+
+    def test_constant_generators(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #0, r4
+        mov #1, r5
+        mov #2, r6
+        mov #4, r7
+        mov #8, r8
+        mov #0xFFFF, r9
+        """)
+        assert_state_matches(cpu, iss, m)
+        values = [iss.state.regs[i] for i in range(4, 10)]
+        assert values == [0, 1, 2, 4, 8, 0xFFFF]
+
+    def test_rw_modify_memory(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #0x0400, r10
+        mov #3, 0(r10)
+        add #4, 0(r10)
+        xor #0xFF, 0(r10)
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.read_word(0x0400) == 0xF8
+
+
+class TestShifts:
+    def test_rra_rrc(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #0x8005, r4
+        rra r4              ; 0xC002, C=1
+        mov #0, r5
+        rrc r5              ; C(1) -> msb
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[4] == 0xC002
+        assert iss.state.regs[5] == 0x8000
+
+    def test_swpb_sxt(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #0x1234, r4
+        swpb r4
+        mov #0x0080, r5
+        sxt r5
+        mov #0x007F, r6
+        sxt r6
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[4] == 0x3412
+        assert iss.state.regs[5] == 0xFF80
+        assert iss.state.regs[6] == 0x007F
+
+    def test_shift_memory_operand(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #0x0500, r4
+        mov #0x00F0, 0(r4)
+        rra 0(r4)
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.read_word(0x0500) == 0x0078
+
+
+class TestStackAndControl:
+    def test_push_pop(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #111, r4
+        mov #222, r5
+        push r4
+        push r5
+        pop r6
+        pop r7
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert (iss.state.regs[6], iss.state.regs[7]) == (222, 111)
+
+    def test_push_immediate_and_memory(self, cpu):
+        iss, m = run_both(cpu, """
+        push #0x1234
+        mov #0x0360, r4
+        mov #55, 0(r4)
+        push 0(r4)
+        pop r5
+        pop r6
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert (iss.state.regs[5], iss.state.regs[6]) == (55, 0x1234)
+
+    def test_call_ret(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #3, r4
+        call #triple
+        mov r4, r10
+        jmp done
+triple: add r4, r4
+        add r4, r4          ; r4 *= 4 (well, x4 not x3)
+        ret
+done:   nop
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[10] == 12
+
+    def test_nested_calls(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #1, r4
+        call #outer
+        jmp fin
+outer:  add #10, r4
+        call #inner
+        add #100, r4
+        ret
+inner:  add #1000, r4
+        ret
+fin:    nop
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[4] == 1111
+
+    def test_br_register(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #target, r4
+        br r4
+        mov #99, r5         ; skipped
+target: mov #7, r6
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[5] == 0
+        assert iss.state.regs[6] == 7
+
+    @pytest.mark.parametrize(
+        "jump,first,second,expect_taken",
+        [
+            ("jz", 5, 5, True),
+            ("jz", 5, 6, False),
+            ("jnz", 5, 6, True),
+            ("jc", 6, 5, True),   # cmp #5, r4(=6): 6-5 no borrow -> C=1
+            ("jnc", 5, 6, True),  # 5-6 borrows -> C=0
+            ("jn", 5, 6, True),   # 5-6 negative
+            ("jge", 6, 5, True),
+            ("jl", 5, 6, True),
+        ],
+    )
+    def test_conditional_jumps(self, cpu, jump, first, second, expect_taken):
+        iss, m = run_both(cpu, f"""
+        mov #{first}, r4
+        cmp #{second}, r4
+        {jump} taken
+        mov #1, r5
+        jmp out
+taken:  mov #2, r5
+out:    nop
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[5] == (2 if expect_taken else 1)
+
+
+class TestPeripherals:
+    def test_multiplier(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #123, &0x0130   ; MPY
+        mov #456, &0x0138   ; OP2 triggers
+        nop
+        mov &0x013A, r4     ; RESLO
+        mov &0x013C, r5     ; RESHI
+        """)
+        assert_state_matches(cpu, iss, m)
+        product = 123 * 456
+        assert iss.state.regs[4] == product & 0xFFFF
+        assert iss.state.regs[5] == product >> 16
+
+    def test_multiplier_large_operands(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #0xFFFF, &0x0130
+        mov #0xFFFF, &0x0138
+        nop
+        mov &0x013A, r4
+        mov &0x013C, r5
+        """)
+        assert_state_matches(cpu, iss, m)
+        product = 0xFFFF * 0xFFFF
+        assert iss.state.regs[4] == product & 0xFFFF
+        assert iss.state.regs[5] == product >> 16
+
+    def test_multiplier_without_nop(self, cpu):
+        """Back-to-back OP2 write then RESLO read still sees the result
+        (the 2-cycle multiplier finishes during the next fetch)."""
+        iss, m = run_both(cpu, """
+        mov #10, &0x0130
+        mov #20, &0x0138
+        mov &0x013A, r4
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[4] == 200
+
+    def test_p1out(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #0x00A5, &0x0022
+        mov &0x0022, r4
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[4] == 0x00A5
+
+    def test_p1in_concrete(self, cpu):
+        iss, m = run_both(cpu, """
+        mov &0x0020, r4
+        """, port_in=0x1234)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[4] == 0x1234
+
+
+_REG_OPS = ["add", "sub", "xor", "and", "bis", "bic", "addc", "subc", "cmp", "bit", "mov"]
+
+
+class TestRandomPrograms:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seeds=st.lists(
+            st.integers(min_value=0, max_value=0xFFFF), min_size=2, max_size=2
+        ),
+        ops=st.lists(st.sampled_from(_REG_OPS), min_size=3, max_size=8),
+        data=st.data(),
+    )
+    def test_random_reg_sequences(self, cpu, seeds, ops, data):
+        """Random straight-line programs agree between ISS and gates."""
+        lines = [f"        mov #{seeds[0]}, r4", f"        mov #{seeds[1]}, r5"]
+        for op in ops:
+            src = data.draw(st.sampled_from(["r4", "r5", "#1", "#2", "#0x1F"]))
+            dst = data.draw(st.sampled_from(["r4", "r5", "r6", "r7"]))
+            lines.append(f"        {op} {src}, {dst}")
+        iss, m = run_both(cpu, "\n".join(lines) + "\n")
+        assert_state_matches(cpu, iss, m)

@@ -1,0 +1,164 @@
+"""Edge-case differential tests: unusual but legal instruction forms."""
+
+import pytest
+
+from tests.test_cpu import assert_state_matches, run_both
+
+
+class TestFormatIIMemoryForms:
+    def test_rra_indirect_autoincrement_writeback(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #0x0340, r4
+        mov #0x0040, 0(r4)
+        mov #0x0080, 2(r4)
+        rra @r4+
+        rra @r4+
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.read_word(0x0340) == 0x0020
+        assert iss.read_word(0x0342) == 0x0040
+        assert iss.state.regs[4] == 0x0344
+
+    def test_swpb_absolute(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #0x1234, &0x0360
+        swpb &0x0360
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.read_word(0x0360) == 0x3412
+
+    def test_push_indexed_operand(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #0x0380, r4
+        mov #777, 4(r4)
+        push 4(r4)
+        pop r5
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[5] == 777
+
+    def test_call_through_register(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #fn, r4
+        call r4
+        jmp over
+fn:     mov #9, r5
+        ret
+over:   mov #1, r6
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[5] == 9
+        assert iss.state.regs[6] == 1
+
+
+class TestStatusRegisterAsDestination:
+    def test_bis_to_sr_sets_carry_for_jump(self, cpu):
+        iss, m = run_both(cpu, """
+        bis #1, sr          ; set carry directly
+        jc  carried
+        mov #1, r5
+carried: mov #2, r6
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[5] == 0
+        assert iss.state.regs[6] == 2
+
+    def test_clrc_setc_emulations(self, cpu):
+        iss, m = run_both(cpu, """
+        setc
+        mov #0, r4
+        rrc r4              ; carry -> msb
+        clrc
+        mov #0, r5
+        rrc r5
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[4] == 0x8000
+        assert iss.state.regs[5] == 0
+
+
+class TestConstantRegisterSinks:
+    def test_write_to_r3_is_dropped(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #0x1234, r3     ; r3 is the constant generator: no storage
+        mov r3, r5          ; reads back as 0
+        nop                 ; emulated as mov r3, r3
+        mov #7, r6
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[5] == 0
+        assert iss.state.regs[6] == 7
+
+
+class TestPeripheralCorners:
+    def test_wdt_frozen_once_held(self, cpu):
+        """The gate-level watchdog counts cycles until the hold key lands,
+        then freezes.  (The ISS models the watchdog at instruction
+        granularity, so this is checked on the netlist alone.)"""
+        from repro.asm import assemble
+
+        program = assemble("""
+        .equ WDTCTL, 0x0120
+        .org 0xF000
+start:  mov #0x5A80, &WDTCTL
+        mov &0x0122, r5     ; WDTCNT snapshot right after the hold
+        mov #5, r4
+wloop:  dec r4
+        jnz wloop
+        mov &0x0122, r6     ; and again after a while
+end:    jmp end
+""", "wdt")
+        machine = cpu.make_machine(program, symbolic_inputs=False, port_in=0)
+        cpu.run_to_halt(machine)
+        first, first_x = machine.peek_bus(cpu.nets.regfile[1])   # r5
+        second, second_x = machine.peek_bus(cpu.nets.regfile[2])  # r6
+        assert first_x == 0 and second_x == 0
+        assert 0 < first < 16  # it ticked during the first instruction
+        assert second == first  # and froze once held
+
+    def test_back_to_back_multiplies(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #100, &0x0130
+        mov #200, &0x0138
+        mov &0x013A, r4     ; 20000
+        mov #300, &0x0130
+        mov #400, &0x0138
+        mov &0x013A, r5     ; 120000 & 0xFFFF
+        mov &0x013C, r6     ; 120000 >> 16
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[4] == 20000
+        assert iss.state.regs[5] == 120000 & 0xFFFF
+        assert iss.state.regs[6] == 120000 >> 16
+
+    def test_multiplier_operands_readable(self, cpu):
+        iss, m = run_both(cpu, """
+        mov #0x1111, &0x0130
+        mov #0x2222, &0x0138
+        mov &0x0130, r4
+        mov &0x0138, r5
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[4] == 0x1111
+        assert iss.state.regs[5] == 0x2222
+
+
+class TestStackDiscipline:
+    def test_deep_push_pop_reverses(self, cpu):
+        body = "\n".join(f"        push #{k}" for k in (11, 22, 33, 44))
+        body += "\n" + "\n".join(
+            f"        pop r{r}" for r in (4, 5, 6, 7)
+        )
+        iss, m = run_both(cpu, body)
+        assert_state_matches(cpu, iss, m)
+        assert [iss.state.regs[r] for r in (4, 5, 6, 7)] == [44, 33, 22, 11]
+
+    def test_sp_arithmetic_directly(self, cpu):
+        iss, m = run_both(cpu, """
+        push #5
+        mov @sp, r4         ; peek without popping
+        add #2, sp          ; manual pop (the OPT2 idiom)
+        """)
+        assert_state_matches(cpu, iss, m)
+        assert iss.state.regs[4] == 5
+        assert iss.state.regs[1] == 0x0A00

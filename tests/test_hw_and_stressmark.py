@@ -1,0 +1,95 @@
+"""Measurement rig (Chapter 2 substitute) and GA stressmark tests."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.bench.suite import get_benchmark
+from repro.cells import SG65
+from repro.core.stressmark import (
+    Stressmark,
+    _genome_source,
+    _random_gene,
+    generate_stressmark,
+)
+from repro.hw import MeasurementRig
+from repro.isa import InstructionSetSimulator
+from repro.power import PowerModel
+
+import numpy as np
+
+
+class TestMeasurementRig:
+    @pytest.fixture(scope="class")
+    def rig(self, cpu):
+        return MeasurementRig(cpu, noise_fraction=0.01, seed=3)
+
+    @pytest.fixture(scope="class")
+    def capture(self, rig):
+        benchmark = get_benchmark("intAVG")
+        inputs = benchmark.input_sets(1, seed=1)[0]
+        return rig.measure(benchmark.program().with_inputs(inputs))
+
+    def test_at_least_one_sample_per_cycle(self, capture):
+        assert len(capture.power_mw) >= capture.cycles
+
+    def test_peak_above_average(self, capture):
+        assert capture.peak_mw > capture.avg_mw
+
+    def test_run_to_run_variation_under_two_percent(self, cpu):
+        rig = MeasurementRig(cpu, noise_fraction=0.005, seed=9)
+        benchmark = get_benchmark("intAVG")
+        inputs = benchmark.input_sets(1, seed=1)[0]
+        program = benchmark.program().with_inputs(inputs)
+        peaks = [rig.measure(program).peak_mw for _ in range(3)]
+        spread = (max(peaks) - min(peaks)) / min(peaks)
+        assert spread < 0.02  # the paper reports <2%
+
+    def test_rated_peak_dominates_measurement(self, rig, capture):
+        assert rig.rated_peak_mw() > capture.peak_mw
+
+    def test_symbolic_program_rejected(self, rig):
+        program = get_benchmark("intAVG").program()
+        with pytest.raises(ValueError, match="concrete"):
+            rig.measure(program)
+
+    def test_input_dependence_visible(self, rig):
+        benchmark = get_benchmark("mult")
+        program = benchmark.program()
+        low = rig.measure(program.with_inputs([0] * 8))
+        high = rig.measure(program.with_inputs([0xFFFF] * 8))
+        assert high.peak_mw > low.peak_mw
+
+
+class TestStressmark:
+    def test_genome_assembles_and_halts(self):
+        rng = np.random.default_rng(1)
+        genome = [_random_gene(rng) for _ in range(10)]
+        program = assemble(_genome_source(genome), "sm")
+        iss = InstructionSetSimulator(program)
+        iss.run(max_instructions=5_000)
+        assert iss.halted
+
+    def test_stack_stays_balanced(self):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            genome = [_random_gene(rng) for _ in range(12)]
+            program = assemble(_genome_source(genome), "sm")
+            iss = InstructionSetSimulator(program)
+            iss.run(max_instructions=5_000)
+            assert iss.state.regs[1] == 0x0A00  # SP back at reset value
+
+    def test_tiny_ga_improves_or_matches_random(self, cpu):
+        model = PowerModel(cpu.netlist, SG65, clock_ns=10.0)
+        result = generate_stressmark(
+            cpu, model, population=4, generations=2, genome_length=6, seed=5
+        )
+        assert isinstance(result, Stressmark)
+        assert result.peak_power_mw > 1.0  # meaningfully above the floor
+        assert result.guardbanded_peak_power_mw == pytest.approx(
+            result.peak_power_mw * 4 / 3
+        )
+
+    def test_objective_validation(self, cpu):
+        model = PowerModel(cpu.netlist, SG65)
+        with pytest.raises(ValueError):
+            generate_stressmark(cpu, model, objective="both")

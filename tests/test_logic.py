@@ -1,0 +1,148 @@
+"""Unit and property tests for the three-valued logic kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic import (
+    ONE,
+    X,
+    ZERO,
+    all_trits,
+    bus_to_int,
+    int_to_bus,
+    is_known,
+    refines,
+    t_and,
+    t_mux,
+    t_nand,
+    t_nor,
+    t_not,
+    t_or,
+    t_xnor,
+    t_xor,
+)
+from repro.logic.tables import BINARY_TABLES, MUX_TABLE, NOT_TABLE, table_for
+
+BOOL_OPS = {
+    "AND": lambda a, b: a & b,
+    "OR": lambda a, b: a | b,
+    "NAND": lambda a, b: 1 - (a & b),
+    "NOR": lambda a, b: 1 - (a | b),
+    "XOR": lambda a, b: a ^ b,
+    "XNOR": lambda a, b: 1 - (a ^ b),
+}
+
+TERNARY_OPS = {
+    "AND": t_and,
+    "OR": t_or,
+    "NAND": t_nand,
+    "NOR": t_nor,
+    "XOR": t_xor,
+    "XNOR": t_xnor,
+}
+
+trits = st.sampled_from([ZERO, ONE, X])
+bits = st.sampled_from([ZERO, ONE])
+
+
+class TestScalarSemantics:
+    def test_known_values(self):
+        assert is_known(ZERO) and is_known(ONE) and not is_known(X)
+
+    @pytest.mark.parametrize("name", sorted(BOOL_OPS))
+    def test_boolean_restriction(self, name):
+        """On concrete inputs, ternary ops agree with plain boolean logic."""
+        for a in (0, 1):
+            for b in (0, 1):
+                assert TERNARY_OPS[name](a, b) == BOOL_OPS[name](a, b)
+
+    def test_controlling_values(self):
+        assert t_and(ZERO, X) == ZERO
+        assert t_and(X, ZERO) == ZERO
+        assert t_or(ONE, X) == ONE
+        assert t_or(X, ONE) == ONE
+        assert t_nand(ZERO, X) == ONE
+        assert t_nor(ONE, X) == ZERO
+
+    def test_x_propagation(self):
+        assert t_and(ONE, X) == X
+        assert t_or(ZERO, X) == X
+        assert t_xor(ZERO, X) == X
+        assert t_xor(X, X) == X
+        assert t_not(X) == X
+
+    def test_mux_select(self):
+        assert t_mux(ZERO, ONE, ZERO) == ONE
+        assert t_mux(ONE, ONE, ZERO) == ZERO
+
+    def test_mux_x_select_agreeing_inputs(self):
+        assert t_mux(X, ONE, ONE) == ONE
+        assert t_mux(X, ZERO, ZERO) == ZERO
+        assert t_mux(X, ONE, ZERO) == X
+
+
+class TestRefinement:
+    @given(trits)
+    def test_x_refined_by_all(self, value):
+        assert refines(value, X)
+
+    @given(bits)
+    def test_known_only_refines_itself(self, value):
+        assert refines(value, value)
+        assert not refines(1 - value, value)
+
+    @given(bits, trits, bits, trits)
+    def test_ops_monotone_under_refinement(self, a, sa, b, sb):
+        """Concretizing inputs can only concretize outputs consistently.
+
+        This monotonicity is what makes the X-based analysis sound: the
+        symbolic run covers every concrete refinement of its inputs.
+        """
+        for name, op in TERNARY_OPS.items():
+            if refines(a, sa) and refines(b, sb):
+                assert refines(op(a, b), op(sa, sb)), name
+
+    @given(bits, trits, bits, trits, bits, trits)
+    def test_mux_monotone_under_refinement(self, s, ss, a, sa, b, sb):
+        if refines(s, ss) and refines(a, sa) and refines(b, sb):
+            assert refines(t_mux(s, a, b), t_mux(ss, sa, sb))
+
+
+class TestTables:
+    @pytest.mark.parametrize("name", sorted(TERNARY_OPS))
+    def test_tables_match_scalar(self, name):
+        table = BINARY_TABLES[name]
+        for a in all_trits():
+            for b in all_trits():
+                assert table[a, b] == TERNARY_OPS[name](a, b)
+
+    def test_not_table(self):
+        for a in all_trits():
+            assert NOT_TABLE[a] == t_not(a)
+
+    def test_mux_table(self):
+        for s in all_trits():
+            for a in all_trits():
+                for b in all_trits():
+                    assert MUX_TABLE[s, a, b] == t_mux(s, a, b)
+
+    def test_table_for_unknown_kind(self):
+        with pytest.raises(KeyError):
+            table_for("LATCH")
+
+    def test_tables_are_uint8(self):
+        assert BINARY_TABLES["AND"].dtype == np.uint8
+        assert MUX_TABLE.shape == (3, 3, 3)
+
+
+class TestBusCodecs:
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_roundtrip(self, value):
+        assert bus_to_int(int_to_bus(value, 16)) == value
+
+    def test_x_bus_is_none(self):
+        bus = int_to_bus(5, 8)
+        bus[3] = X
+        assert bus_to_int(bus) is None

@@ -1,0 +1,103 @@
+"""Tests for the X-aware behavioral memory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.memory import MASK16, MemoryXAddressError, TernaryMemory
+
+words = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestBasicAccess:
+    def test_starts_unknown(self):
+        memory = TernaryMemory(64)
+        value, xmask = memory.read(5)
+        assert xmask == MASK16
+
+    def test_load_and_read(self):
+        memory = TernaryMemory(64)
+        memory.load_word(3, 0xBEEF)
+        assert memory.read(3) == (0xBEEF, 0)
+
+    def test_write_clears_xmask(self):
+        memory = TernaryMemory(64)
+        memory.write(7, 0x1234)
+        assert memory.read(7) == (0x1234, 0)
+
+    def test_partial_x_write(self):
+        memory = TernaryMemory(64)
+        memory.write(2, 0xFF00, xmask=0x00FF)
+        value, xmask = memory.read(2)
+        assert xmask == 0x00FF
+        assert value == 0xFF00
+
+    def test_x_address_read_is_all_x(self):
+        memory = TernaryMemory(64)
+        assert memory.read(None) == (0, MASK16)
+
+    def test_x_address_write_raises(self):
+        memory = TernaryMemory(64)
+        with pytest.raises(MemoryXAddressError):
+            memory.write(None, 5)
+
+    def test_misaligned_program_load(self):
+        memory = TernaryMemory(64)
+        with pytest.raises(ValueError):
+            memory.load_program({3: 7})
+
+
+class TestUncertainWrites:
+    def test_same_value_stays_known(self):
+        memory = TernaryMemory(64)
+        memory.write(4, 0xAAAA)
+        memory.write_uncertain(4, 0xAAAA)
+        assert memory.read(4) == (0xAAAA, 0)
+
+    def test_differing_bits_become_x(self):
+        memory = TernaryMemory(64)
+        memory.write(4, 0xFF00)
+        memory.write_uncertain(4, 0xF000)
+        value, xmask = memory.read(4)
+        assert xmask == 0x0F00
+        assert value & ~xmask == 0xF000
+
+    @given(words, words)
+    def test_uncertain_write_covers_both_outcomes(self, old, new):
+        """Both "store happened" and "store skipped" refine the result."""
+        memory = TernaryMemory(8)
+        memory.write(1, old)
+        memory.write_uncertain(1, new)
+        value, xmask = memory.read(1)
+        for outcome in (old, new):
+            assert outcome & ~xmask == value, (
+                "known bits must agree with every possible outcome"
+            )
+
+
+class TestSnapshotting:
+    def test_copy_is_independent(self):
+        memory = TernaryMemory(16)
+        memory.write(0, 1)
+        clone = memory.copy()
+        clone.write(0, 2)
+        assert memory.read(0) == (1, 0)
+        assert clone.read(0) == (2, 0)
+
+    def test_digest_changes_with_content(self):
+        memory = TernaryMemory(16)
+        before = memory.digest()
+        memory.write(3, 0x1111)
+        assert memory.digest() != before
+
+    def test_digest_stable(self):
+        memory = TernaryMemory(16)
+        memory.write(3, 0x1111)
+        assert memory.digest() == memory.copy().digest()
+
+    def test_known_word_helper(self):
+        memory = TernaryMemory(16)
+        memory.write(1, 42)
+        assert memory.known_word(2) == 42
+        with pytest.raises(ValueError):
+            memory.known_word(4)

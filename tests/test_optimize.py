@@ -1,0 +1,110 @@
+"""Tests for the OPT1/OPT2/OPT3 source transforms (§5.1)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.optimize import apply, apply_opt1, apply_opt2, apply_opt3
+from repro.isa import InstructionSetSimulator
+
+
+def run_iss(source: str) -> InstructionSetSimulator:
+    iss = InstructionSetSimulator(assemble(source, "opt"))
+    iss.run()
+    return iss
+
+
+BASE = """
+        .org 0xF000
+start:  mov #0x0300, r4
+        mov #55, 0(r4)
+        mov #66, 2(r4)
+        mov 0(r4), r5
+        mov 2(r4), r6
+        push r5
+        push r6
+        pop r7
+        pop r8
+        mov r5, &0x0130
+        mov r6, &0x0138
+        mov &0x013A, r9
+        mov r9, &0x0310
+end:    jmp end
+"""
+
+
+class TestOpt1:
+    def test_rewrites_indexed_loads_only(self):
+        result = apply_opt1(BASE)
+        names = [name for name, _line in result.applied]
+        assert names == ["OPT1", "OPT1"]
+        assert "mov #0, r15" in result.source
+        assert "mov @r15, r5" in result.source
+        # stores through x(rN) must be left alone
+        assert "mov #55, 0(r4)" in result.source
+
+    def test_preserves_semantics(self):
+        before = run_iss(BASE)
+        after = run_iss(apply_opt1(BASE).source)
+        assert before.read_word(0x0310) == after.read_word(0x0310)
+        assert before.state.regs[5:10] == after.state.regs[5:10]
+
+    def test_adds_instructions(self):
+        before = run_iss(BASE)
+        after = run_iss(apply_opt1(BASE).source)
+        assert after.instructions > before.instructions
+
+    def test_skips_load_into_base_register(self):
+        source = ".org 0xF000\n mov 2(r4), r4\nend: jmp end\n"
+        result = apply_opt1(source)
+        assert result.applied == []
+
+
+class TestOpt2:
+    def test_splits_pop(self):
+        result = apply_opt2(BASE)
+        assert len(result.applied) == 2
+        assert "mov @sp, r7" in result.source
+        assert "add #2, sp" in result.source
+        assert "pop" not in result.source
+
+    def test_preserves_semantics(self):
+        before = run_iss(BASE)
+        after = run_iss(apply_opt2(BASE).source)
+        assert before.state.regs[7] == after.state.regs[7]
+        assert before.state.regs[8] == after.state.regs[8]
+        assert before.state.regs[1] == after.state.regs[1]  # SP rebalanced
+
+
+class TestOpt3:
+    def test_inserts_nop_after_op2_write(self):
+        result = apply_opt3(BASE)
+        assert len(result.applied) == 1
+        lines = result.source.splitlines()
+        trigger = next(
+            i for i, line in enumerate(lines) if "&0x0138" in line
+        )
+        assert lines[trigger + 1].strip().startswith("nop")
+
+    def test_idempotent(self):
+        once = apply_opt3(BASE).source
+        twice = apply_opt3(once)
+        assert twice.applied == []
+
+    def test_preserves_semantics(self):
+        before = run_iss(BASE)
+        after = run_iss(apply_opt3(BASE).source)
+        assert before.read_word(0x0310) == after.read_word(0x0310)
+
+
+class TestCombined:
+    def test_apply_all(self):
+        result = apply(BASE, ["OPT1", "OPT2", "OPT3"])
+        names = {name for name, _line in result.applied}
+        assert names == {"OPT1", "OPT2", "OPT3"}
+        before = run_iss(BASE)
+        after = run_iss(result.source)
+        assert before.read_word(0x0310) == after.read_word(0x0310)
+
+    def test_unknown_opt_rejected(self):
+        with pytest.raises(ValueError, match="unknown optimization"):
+            apply(BASE, ["OPT9"])

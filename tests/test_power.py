@@ -1,0 +1,145 @@
+"""Power model, cell library, and design-tool baseline tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cells import SG65, SG130
+from repro.logic import X
+from repro.netlist import NetlistBuilder
+from repro.power import PowerModel, design_tool_rating
+from repro.power.model import _scale_for
+
+
+def tiny_netlist():
+    nb = NetlistBuilder("tiny")
+    with nb.module("alpha"):
+        a = nb.input("a")
+        b = nb.input("b")
+        y = nb.and_(a, b)
+    with nb.module("beta"):
+        q = nb.register(1, "q")
+        nb.connect_register(q, [y])
+    return nb.finish(), a, b, y, q[0]
+
+
+class TestCellLibrary:
+    def test_all_gate_kinds_characterized(self):
+        for kind in ("NOT", "BUF", "AND", "OR", "NAND", "NOR", "XOR", "XNOR",
+                     "MUX", "DFF"):
+            assert kind in SG65
+            assert SG65[kind].max_transition_energy_fj() > 0
+
+    def test_max_power_transition_prefers_expensive_edge(self):
+        for kind in SG65.kinds():
+            cell = SG65[kind]
+            prev, cur = cell.max_power_transition()
+            assert cell.transition_energy_fj(cur == 1) == (
+                cell.max_transition_energy_fj()
+            )
+
+    def test_sources_have_no_energy(self):
+        assert SG65.cell_for_gate("INPUT").e_rise_fj == 0
+        assert SG65.cell_for_gate("CONST0").leakage_nw == 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            SG65.cell_for_gate("LATCH")
+
+    def test_sg130_scales_up_energy(self):
+        assert SG130["AND"].e_rise_fj > SG65["AND"].e_rise_fj
+        assert SG130["AND"].leakage_nw < SG65["AND"].leakage_nw
+
+
+class TestScaleLookup:
+    def test_prefix_matching(self):
+        scale_map = {"exec_unit/alu": 0.5, "exec_unit": 0.9}
+        assert _scale_for("exec_unit/alu", scale_map) == 0.5
+        assert _scale_for("exec_unit/alu/adder", scale_map) == 0.5
+        assert _scale_for("exec_unit/regfile", scale_map) == 0.9
+        assert _scale_for("frontend", scale_map) == 1.0
+
+    def test_no_partial_name_match(self):
+        assert _scale_for("execute", {"exec": 0.5}) == 1.0
+
+
+class TestTracePower:
+    def test_no_transitions_means_floor_power(self):
+        netlist, a, b, y, q = tiny_netlist()
+        model = PowerModel(netlist, SG65, clock_ns=10.0)
+        values = np.zeros((3, netlist.n_nets), dtype=np.uint8)
+        trace = model.trace_power(values)
+        floor = (
+            model.clock_pin_fj + SG65.mem_idle_fj
+        ) / 10.0 * 1e-3 + model.leakage_mw
+        assert np.allclose(trace.total_mw, floor)
+
+    def test_single_toggle_energy(self):
+        netlist, a, b, y, q = tiny_netlist()
+        model = PowerModel(netlist, SG65, clock_ns=10.0)
+        values = np.zeros((2, netlist.n_nets), dtype=np.uint8)
+        values[1, y] = 1  # one AND rising edge
+        trace = model.trace_power(values)
+        delta = trace.total_mw[1] - trace.total_mw[0]
+        assert delta == pytest.approx(SG65["AND"].e_rise_fj / 10.0 * 1e-3)
+
+    def test_fall_cheaper_than_rise(self):
+        netlist, a, b, y, q = tiny_netlist()
+        model = PowerModel(netlist, SG65, clock_ns=10.0)
+        rise = np.zeros((2, netlist.n_nets), dtype=np.uint8)
+        rise[1, y] = 1
+        fall = np.ones((2, netlist.n_nets), dtype=np.uint8)
+        fall[1, y] = 0
+        assert (
+            model.trace_power(rise).total_mw[1]
+            > model.trace_power(fall).total_mw[1]
+        )
+
+    def test_mem_accesses_priced_by_library(self):
+        netlist, *_ = tiny_netlist()
+        model = PowerModel(netlist, SG65, clock_ns=10.0)
+        values = np.zeros((2, netlist.n_nets), dtype=np.uint8)
+        accesses = np.array([[0.0, 0.0], [1.0, 1.0]])
+        trace = model.trace_power(values, accesses)
+        delta = trace.total_mw[1] - trace.total_mw[0]
+        expected = (SG65.mem_read_energy_fj + SG65.mem_write_energy_fj) / 10e3
+        assert delta == pytest.approx(expected)
+
+    def test_module_breakdown_sums_to_total(self):
+        netlist, a, b, y, q = tiny_netlist()
+        model = PowerModel(netlist, SG65, clock_ns=10.0)
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 2, size=(6, netlist.n_nets)).astype(np.uint8)
+        accesses = np.ones((6, 2))
+        trace = model.trace_power(values, accesses, per_module=True)
+        recombined = sum(trace.module_mw.values()) + model.leakage_mw
+        assert np.allclose(recombined, trace.total_mw, atol=1e-9)
+
+    def test_power_trace_statistics(self):
+        netlist, *_ = tiny_netlist()
+        model = PowerModel(netlist, SG65)
+        values = np.zeros((4, netlist.n_nets), dtype=np.uint8)
+        trace = model.trace_power(values)
+        assert trace.peak() == pytest.approx(trace.average())
+        assert trace.energy_pj() == pytest.approx(
+            trace.total_mw.sum() * trace.clock_ns
+        )
+
+
+class TestDesignTool:
+    def test_rating_scales_with_toggle_rate(self):
+        netlist, *_ = tiny_netlist()
+        model = PowerModel(netlist, SG65)
+        low, _ = design_tool_rating(model, toggle_rate=0.1)
+        high, _ = design_tool_rating(model, toggle_rate=0.4)
+        assert high > low
+
+    def test_rating_uses_library_default(self):
+        netlist, *_ = tiny_netlist()
+        model = PowerModel(netlist, SG65)
+        explicit, _ = design_tool_rating(
+            model, toggle_rate=SG65.default_toggle_rate
+        )
+        implicit, _ = design_tool_rating(model)
+        assert explicit == pytest.approx(implicit)

@@ -1,0 +1,136 @@
+"""Property-based tests of the soundness lemmas the paper relies on.
+
+The X-based analysis is sound because of a refinement chain:
+
+1. gate-level 3-valued evaluation is *monotone*: concretizing inputs can
+   only concretize outputs consistently (tested here on random circuits);
+2. therefore a symbolic simulation covers every concrete simulation;
+3. Algorithm 2's X-assignment only concretizes Xs (never edits known
+   values), so the maximized profile is a legal concretization too.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.peakpower import maximize_parity
+from repro.logic import ONE, X, ZERO, refines
+from repro.netlist import NetlistBuilder
+from repro.sim import LevelizedEvaluator
+
+
+def random_circuit(rng: np.random.Generator, n_inputs: int, n_gates: int):
+    """A random combinational DAG over the 2-input gate kinds."""
+    nb = NetlistBuilder("random")
+    nets = [nb.input(f"i{k}") for k in range(n_inputs)]
+    ops = [nb.and_, nb.or_, nb.xor, nb.nand, nb.nor, nb.xnor]
+    for _ in range(n_gates):
+        op = ops[rng.integers(0, len(ops))]
+        a = nets[rng.integers(0, len(nets))]
+        b = nets[rng.integers(0, len(nets))]
+        nets.append(op(a, b))
+    netlist = nb.finish()
+    inputs = nets[:n_inputs]
+    return netlist, inputs
+
+
+class TestEvaluationMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        n_inputs=st.integers(min_value=2, max_value=6),
+        n_gates=st.integers(min_value=1, max_value=40),
+        data=st.data(),
+    )
+    def test_concrete_runs_refine_symbolic_runs(
+        self, seed, n_inputs, n_gates, data
+    ):
+        rng = np.random.default_rng(seed)
+        netlist, inputs = random_circuit(rng, n_inputs, n_gates)
+        evaluator = LevelizedEvaluator(netlist)
+
+        symbolic_in = [
+            data.draw(st.sampled_from([ZERO, ONE, X]), label=f"sym{i}")
+            for i in range(n_inputs)
+        ]
+        concrete_in = [
+            bit if bit != X else data.draw(st.sampled_from([ZERO, ONE]))
+            for bit in symbolic_in
+        ]
+
+        symbolic = evaluator.fresh_values()
+        concrete = evaluator.fresh_values()
+        for net, s_bit, c_bit in zip(inputs, symbolic_in, concrete_in):
+            symbolic[net] = s_bit
+            concrete[net] = c_bit
+        evaluator.eval_comb(symbolic)
+        evaluator.eval_comb(concrete)
+        for net in range(netlist.n_nets):
+            assert refines(int(concrete[net]), int(symbolic[net])), (
+                f"net {net}: concrete {concrete[net]} does not refine "
+                f"symbolic {symbolic[net]}"
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        n_gates=st.integers(min_value=1, max_value=30),
+    )
+    def test_all_x_inputs_cover_all_concrete_runs(self, seed, n_gates):
+        """The extreme case Algorithm 1 uses: inputs all X cover any run."""
+        rng = np.random.default_rng(seed)
+        netlist, inputs = random_circuit(rng, 3, n_gates)
+        evaluator = LevelizedEvaluator(netlist)
+        symbolic = evaluator.fresh_values()
+        evaluator.eval_comb(symbolic)
+        for pattern in range(8):
+            concrete = evaluator.fresh_values()
+            for position, net in enumerate(inputs):
+                concrete[net] = (pattern >> position) & 1
+            evaluator.eval_comb(concrete)
+            for net in range(netlist.n_nets):
+                assert refines(int(concrete[net]), int(symbolic[net]))
+
+
+class TestXAssignmentProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        n_cycles=st.integers(min_value=2, max_value=12),
+        n_nets=st.integers(min_value=1, max_value=8),
+        parity=st.integers(min_value=0, max_value=1),
+    )
+    def test_assignment_is_a_concretization(self, seed, n_cycles, n_nets, parity):
+        """maximize_parity may only resolve Xs, never edit known values."""
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 3, size=(n_cycles, n_nets)).astype(np.uint8)
+        active = rng.integers(0, 2, size=(n_cycles, n_nets)).astype(bool)
+        max_prev = rng.integers(0, 2, size=n_nets).astype(np.uint8)
+        max_cur = (1 - max_prev).astype(np.uint8)
+        assigned = maximize_parity(values, active, parity, max_prev, max_cur)
+        known = values != X
+        assert (assigned[known] == values[known]).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        n_cycles=st.integers(min_value=3, max_value=12),
+        n_nets=st.integers(min_value=1, max_value=8),
+        parity=st.integers(min_value=0, max_value=1),
+    )
+    def test_active_xs_toggle_in_target_cycles(
+        self, seed, n_cycles, n_nets, parity
+    ):
+        """In every target-parity cycle, an active gate whose value was X
+        ends up making a transition — that is what maximizes power."""
+        rng = np.random.default_rng(seed)
+        values = np.full((n_cycles, n_nets), X, dtype=np.uint8)
+        active = rng.integers(0, 2, size=(n_cycles, n_nets)).astype(bool)
+        max_prev = np.zeros(n_nets, dtype=np.uint8)
+        max_cur = np.ones(n_nets, dtype=np.uint8)
+        assigned = maximize_parity(values, active, parity, max_prev, max_cur)
+        start = parity if parity >= 1 else 2
+        for cycle in range(start, n_cycles, 2):
+            toggled = assigned[cycle] != assigned[cycle - 1]
+            both_known = (assigned[cycle] != X) & (assigned[cycle - 1] != X)
+            assert (toggled & both_known)[active[cycle]].all()

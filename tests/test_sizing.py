@@ -1,0 +1,107 @@
+"""Sizing-model tests (Figure 1.3, Tables 1.1/1.2/5.1/5.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sizing import (
+    BATTERY_TYPES,
+    HARVESTER_TYPES,
+    battery_volume_mm3,
+    effective_capacity_fraction,
+    harvester_area_cm2,
+    reduction_table,
+    size_system,
+)
+
+
+class TestDensityTables:
+    def test_table_1_1_values(self):
+        assert BATTERY_TYPES["li-ion"].specific_energy_j_per_g == 460
+        assert BATTERY_TYPES["li-ion"].energy_density_mj_per_l == 1.152
+        assert BATTERY_TYPES["alkaline"].energy_density_mj_per_l == 0.331
+        assert len(BATTERY_TYPES) == 6
+
+    def test_table_1_2_values(self):
+        assert HARVESTER_TYPES["photovoltaic-sun"].power_density_mw_per_cm2 == 100.0
+        assert HARVESTER_TYPES["photovoltaic-indoor"].power_density_mw_per_cm2 == 0.1
+        assert len(HARVESTER_TYPES) == 4
+
+
+class TestHarvesterSizing:
+    def test_indoor_pv_for_2mw(self):
+        # 2 mW at 100 uW/cm^2 -> 20 cm^2
+        assert harvester_area_cm2(2.0, "photovoltaic-indoor") == pytest.approx(20.0)
+
+    @given(st.floats(min_value=0.1, max_value=100.0))
+    def test_area_proportional_to_power(self, power):
+        one = harvester_area_cm2(power, "thermoelectric")
+        two = harvester_area_cm2(2 * power, "thermoelectric")
+        assert two == pytest.approx(2 * one)
+
+
+class TestBatterySizing:
+    def test_volume_from_energy_density(self):
+        # 1.152 J fits in 1 mm^3 of Li-ion
+        assert battery_volume_mm3(1.152, "li-ion") == pytest.approx(1.0)
+
+    def test_effective_capacity_shrinks_with_peaks(self):
+        assert effective_capacity_fraction(1.0, 2.0) == 1.0
+        derated = effective_capacity_fraction(8.0, 2.0)
+        assert 0 < derated < 1.0
+
+    def test_peak_aware_volume_is_larger(self):
+        plain = battery_volume_mm3(100.0, "li-ion")
+        pulsed = battery_volume_mm3(
+            100.0, "li-ion", peak_power_mw=10.0, rated_power_mw=1.0
+        )
+        assert pulsed > plain
+
+    @given(st.floats(min_value=1.0, max_value=1000.0))
+    def test_monotone_in_energy(self, energy):
+        assert battery_volume_mm3(energy + 1) > battery_volume_mm3(energy)
+
+
+class TestSystemSizing:
+    def test_type1_has_no_battery(self):
+        sizing = size_system(1, peak_power_mw=2.0, avg_power_mw=0.5)
+        assert sizing.battery_volume_mm3 is None
+        assert sizing.harvester_area_cm2 == pytest.approx(20.0)
+
+    def test_type2_has_both(self):
+        sizing = size_system(2, peak_power_mw=2.0, avg_power_mw=0.5)
+        assert sizing.harvester_area_cm2 is not None
+        assert sizing.battery_volume_mm3 is not None
+
+    def test_type3_has_no_harvester(self):
+        sizing = size_system(3, peak_power_mw=2.0, avg_power_mw=0.5)
+        assert sizing.harvester_area_cm2 is None
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            size_system(4, 1.0, 1.0)
+
+    def test_lower_peak_means_smaller_type1_system(self):
+        large = size_system(1, peak_power_mw=2.0, avg_power_mw=0.5)
+        small = size_system(1, peak_power_mw=1.7, avg_power_mw=0.5)
+        assert small.harvester_area_cm2 < large.harvester_area_cm2
+
+
+class TestReductionTables:
+    def test_linear_in_contribution(self):
+        baseline = {"a": 2.0, "b": 2.0}
+        ours = {"a": 1.7, "b": 1.7}  # 15% lower
+        table = reduction_table(baseline, ours)
+        assert table[100] == pytest.approx(15.0, abs=0.01)
+        assert table[10] == pytest.approx(1.5, abs=0.01)
+        assert table[50] == pytest.approx(7.5, abs=0.01)
+
+    def test_averages_over_benchmarks(self):
+        baseline = {"a": 2.0, "b": 4.0}
+        ours = {"a": 1.0, "b": 4.0}  # 50% and 0%
+        table = reduction_table(baseline, ours)
+        assert table[100] == pytest.approx(25.0)
+
+    def test_mismatched_sets_rejected(self):
+        with pytest.raises(ValueError):
+            reduction_table({"a": 1.0}, {"b": 1.0})

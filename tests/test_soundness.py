@@ -1,0 +1,75 @@
+"""The paper's central guarantee, tested end-to-end on real benchmarks:
+
+for every concrete input set, (1) the gates it toggles are a subset of the
+X-based potentially-toggled set, and (2) its power trace sits below the
+X-based peak power trace in every cycle.
+"""
+
+import pytest
+
+from repro.bench import runner
+from repro.bench.suite import get_benchmark
+from repro.core.validation import (
+    run_concrete,
+    validate_power_bound,
+    validate_toggles,
+)
+from repro.isa import InstructionSetSimulator
+
+#: branchy + dataflow + multiplier coverage without blowing up CI time
+SUITE = ["mult", "binSearch", "tHold", "tea8", "div"]
+
+
+@pytest.fixture(scope="module", params=SUITE)
+def analyzed(request):
+    name = request.param
+    return name, runner.full_report(name)
+
+
+class TestSuiteSoundness:
+    def test_bounds_hold_for_sampled_inputs(self, analyzed):
+        name, report = analyzed
+        benchmark = get_benchmark(name)
+        cpu = runner.shared_cpu()
+        model = runner.shared_model()
+        for inputs in benchmark.input_sets(2, seed=91):
+            concrete = run_concrete(cpu, benchmark.program(), inputs)
+            toggles = validate_toggles(report.tree, concrete)
+            assert toggles.is_superset, (
+                f"{name}{inputs}: {toggles.n_only_concrete} gates toggled "
+                f"only in the concrete run"
+            )
+            bound = validate_power_bound(
+                cpu, report.tree, report.peak_power, model, concrete
+            )
+            assert bound.is_bound, (
+                f"{name}{inputs}: bound violated by "
+                f"{bound.max_violation_mw:.6f} mW"
+            )
+
+    def test_peak_power_at_least_observed(self, analyzed):
+        name, report = analyzed
+        profile = runner.profiling(name)
+        assert report.peak_power_mw >= profile.observed_peak_power_mw - 1e-9
+
+    def test_npe_at_least_observed(self, analyzed):
+        name, report = analyzed
+        profile = runner.profiling(name)
+        assert (
+            report.npe_pj_per_cycle
+            >= profile.observed_npe_pj_per_cycle - 1e-9
+        )
+
+    def test_gate_level_matches_iss_functionally(self, analyzed):
+        name, _report = analyzed
+        benchmark = get_benchmark(name)
+        inputs = benchmark.input_sets(1, seed=7)[0]
+        program = benchmark.program().with_inputs(inputs)
+        iss = InstructionSetSimulator(program)
+        iss.run()
+        cpu = runner.shared_cpu()
+        machine = cpu.make_machine(program, symbolic_inputs=False, port_in=0)
+        cpu.run_to_halt(machine)
+        value, xmask = machine.memory.read_byte_addr(0x0300)
+        assert xmask == 0
+        assert value == iss.read_word(0x0300)
