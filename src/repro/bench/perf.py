@@ -1,0 +1,97 @@
+"""Perf-trajectory harness: scalar vs batched engine wall-clock.
+
+``python -m repro.bench`` (or ``python -m repro bench``) times Algorithm
+1's symbolic exploration with the scalar reference engine and the batched
+engine on the same benchmarks — always cold (no disk cache involved) — and
+writes a ``BENCH_suite.json`` artifact with per-benchmark wall-clock and
+cycles/second.  Future PRs regenerate the file to track speedups and catch
+regressions of the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.bench.suite import get_benchmark
+from repro.core.activity import default_batch_size, explore
+from repro.cpu import build_ulp430
+
+#: The acceptance trio of multi-path kernels, plus the single-path mult
+#: kernel as a batching-overhead canary.
+DEFAULT_PERF_BENCHMARKS = ["Viterbi", "inSort", "binSearch", "mult"]
+
+
+def _time_explore(cpu, benchmark, batch_size: int, repeats: int):
+    best = None
+    tree = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        tree = explore(
+            cpu,
+            benchmark.program(),
+            max_cycles=benchmark.max_cycles,
+            max_segments=benchmark.max_segments,
+            batch_size=batch_size,
+        )
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, tree
+
+
+def run_perf_suite(
+    names: list[str] | None = None,
+    batch_size: int | None = None,
+    repeats: int = 1,
+    cpu=None,
+) -> dict:
+    """Time scalar vs batched exploration; return the report dict."""
+    names = names if names is not None else list(DEFAULT_PERF_BENCHMARKS)
+    if batch_size is None:
+        batch_size = default_batch_size()
+    cpu = cpu or build_ulp430()
+    rows = []
+    for name in names:
+        benchmark = get_benchmark(name)
+        scalar_s, scalar_tree = _time_explore(cpu, benchmark, 1, repeats)
+        batched_s, batched_tree = _time_explore(
+            cpu, benchmark, batch_size, repeats
+        )
+        if batched_tree.n_cycles != scalar_tree.n_cycles or len(
+            batched_tree.segments
+        ) != len(scalar_tree.segments):
+            raise AssertionError(
+                f"{name}: engines disagree "
+                f"({len(scalar_tree.segments)} vs "
+                f"{len(batched_tree.segments)} segments)"
+            )
+        rows.append(
+            {
+                "name": name,
+                "n_segments": len(scalar_tree.segments),
+                "n_cycles": scalar_tree.n_cycles,
+                "scalar_s": round(scalar_s, 3),
+                "batched_s": round(batched_s, 3),
+                "scalar_cycles_per_s": round(scalar_tree.n_cycles / scalar_s, 1),
+                "batched_cycles_per_s": round(
+                    batched_tree.n_cycles / batched_s, 1
+                ),
+                "speedup": round(scalar_s / batched_s, 2),
+            }
+        )
+    return {
+        "schema": 1,
+        "engine": {"batch_size": batch_size, "repeats": repeats},
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "generated": time.strftime("%Y-%m-%d"),
+        "benchmarks": rows,
+    }
+
+
+def write_report(report: dict, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(report, indent=2) + "\n")

@@ -1,15 +1,32 @@
-"""Shared experiment runner with a disk cache.
+"""Shared experiment runner: versioned disk cache + parallel suite fan-out.
 
 Every figure/table harness needs the same expensive artifacts — the
 symbolic analysis of each benchmark, profiling runs, the GA stressmark.
 This module computes them once and pickles them under ``.repro_cache`` in
 the working directory, so the per-figure benchmarks stay fast and
 consistent with each other.
+
+Cache entries are **versioned**: every on-disk file name carries a
+fingerprint of the cache schema version, the elaborated netlist, and the
+power model characterization (plus, for per-benchmark entries, the
+benchmark source and exploration budgets).  Editing the processor, the
+:class:`~repro.power.model.PowerModel`, or a benchmark therefore misses
+the cache and recomputes instead of silently reusing stale pickles.
+Setting ``REPRO_NO_CACHE=1`` (or passing ``--no-cache`` on the CLI)
+bypasses the disk layer entirely.
+
+:func:`run_suite` fans the Table 4.1 benchmarks out over a
+``ProcessPoolExecutor`` — each worker process elaborates its own CPU and
+power model and fills the shared disk cache, so a cold suite run scales
+with the core count.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -28,9 +45,13 @@ from repro.power.model import PowerModel
 
 CACHE_DIR = Path(".repro_cache")
 
+#: Bump when the shape of any cached value changes.
+CACHE_SCHEMA_VERSION = 2
+
 _cpu: Ulp430 | None = None
 _model: PowerModel | None = None
 _memory_cache: dict[str, object] = {}
+_fingerprint: str | None = None
 
 #: profiling input sets per benchmark (the paper's "several input sets")
 N_PROFILING_INPUTS = 8
@@ -50,20 +71,87 @@ def shared_model() -> PowerModel:
     return _model
 
 
+def cache_enabled() -> bool:
+    """Disk caching is on unless ``REPRO_NO_CACHE`` is set (to anything
+    but ``0``/empty) — the escape hatch behind the CLI's ``--no-cache``."""
+    return os.environ.get("REPRO_NO_CACHE", "0") in ("", "0")
+
+
+def cache_fingerprint() -> str:
+    """Version tag baked into every disk-cache key.
+
+    Covers the cache schema version, the elaborated netlist (gate kinds,
+    connectivity, reset values, module paths) and the power-model
+    characterization (per-net energies, max-power transitions, leakage,
+    clock period, memory energies).  Any change to the processor or the
+    model changes the fingerprint, so stale pickles are never reused.
+    """
+    global _fingerprint
+    if _fingerprint is None:
+        cpu = shared_cpu()
+        model = shared_model()
+        library = model.library
+        h = hashlib.blake2b(digest_size=8)
+        h.update(f"schema{CACHE_SCHEMA_VERSION}".encode())
+        for gate in cpu.netlist.gates:
+            h.update(
+                f"{gate.kind}:{gate.inputs}:{gate.reset_value}:{gate.module}"
+                .encode()
+            )
+        for array in (model.e_rise, model.e_fall, model.max_prev, model.max_cur):
+            h.update(array.tobytes())
+        h.update(
+            repr(
+                (
+                    model.clock_ns,
+                    model.leakage_mw,
+                    model.clock_pin_fj,
+                    library.name,
+                    library.mem_read_energy_fj,
+                    library.mem_write_energy_fj,
+                    library.mem_idle_fj,
+                    N_PROFILING_INPUTS,
+                )
+            ).encode()
+        )
+        _fingerprint = h.hexdigest()
+    return _fingerprint
+
+
+def _bench_token(benchmark: Benchmark) -> str:
+    """Per-benchmark fingerprint component: source + exploration budgets."""
+    h = hashlib.blake2b(digest_size=4)
+    h.update(benchmark.source.encode())
+    h.update(
+        repr(
+            (benchmark.loop_bound, benchmark.max_segments, benchmark.max_cycles)
+        ).encode()
+    )
+    return h.hexdigest()
+
+
 def _cached(key: str, compute):
-    """Two-level cache: per-process dict, then pickle on disk."""
+    """Two-level cache: per-process dict, then versioned pickle on disk."""
     if key in _memory_cache:
         return _memory_cache[key]
+    if not cache_enabled():
+        value = compute()
+        _memory_cache[key] = value
+        return value
     CACHE_DIR.mkdir(exist_ok=True)
-    path = CACHE_DIR / f"{key}.pkl"
+    path = CACHE_DIR / f"{key}-{cache_fingerprint()}.pkl"
     if path.exists():
         with path.open("rb") as handle:
             value = pickle.load(handle)
         _memory_cache[key] = value
         return value
     value = compute()
-    with path.open("wb") as handle:
+    # Atomic publish: parallel workers may race on the same key, and a
+    # half-written pickle must never become visible under the final name.
+    scratch = path.with_suffix(f".tmp{os.getpid()}")
+    with scratch.open("wb") as handle:
         pickle.dump(value, handle)
+    os.replace(scratch, path)
     _memory_cache[key] = value
     return value
 
@@ -86,7 +174,6 @@ def x_based(name: str) -> BenchmarkResults:
     """Cached X-based (our-technique) results for one benchmark."""
 
     def compute() -> BenchmarkResults:
-        benchmark = get_benchmark(name)
         report = full_report(name)
         return BenchmarkResults(
             name=name,
@@ -99,7 +186,8 @@ def x_based(name: str) -> BenchmarkResults:
             avg_peak_trace_mw=float(report.peak_power.trace_mw.mean()),
         )
 
-    return _cached(f"xbased_{name}", compute)
+    benchmark = get_benchmark(name)
+    return _cached(f"xbased_{name}_{_bench_token(benchmark)}", compute)
 
 
 def full_report(name: str) -> AnalysisReport:
@@ -112,9 +200,7 @@ def full_report(name: str) -> AnalysisReport:
         shared_cpu(),
         benchmark.program(),
         shared_model(),
-        loop_bound=benchmark.loop_bound,
-        max_segments=benchmark.max_segments,
-        max_cycles=benchmark.max_cycles,
+        **benchmark.analysis_kwargs(),
     )
     _memory_cache[key] = report
     return report
@@ -132,7 +218,8 @@ def profiling(name: str) -> ProfilingBaseline:
             shared_model(),
         )
 
-    return _cached(f"profiling_{name}", compute)
+    benchmark = get_benchmark(name)
+    return _cached(f"profiling_{name}_{_bench_token(benchmark)}", compute)
 
 
 def design_baseline() -> DesignToolBaseline:
@@ -150,6 +237,76 @@ def stressmark(objective: str = "peak") -> Stressmark:
 
 def all_names() -> list[str]:
     return list(ALL_BENCHMARKS)
+
+
+# ----------------------------------------------------------------------
+# Process-parallel suite runner
+# ----------------------------------------------------------------------
+_KNOB_VARS = ("REPRO_NO_CACHE", "REPRO_BATCH_SIZE")
+
+
+def _apply_knobs(batch_size: int | None, no_cache: bool) -> None:
+    """Export explicitly requested knobs; leave inherited ones alone."""
+    if no_cache:
+        os.environ["REPRO_NO_CACHE"] = "1"
+    if batch_size is not None:
+        os.environ["REPRO_BATCH_SIZE"] = str(batch_size)
+
+
+def _suite_worker(
+    name: str, batch_size: int | None, no_cache: bool
+) -> BenchmarkResults:
+    """Compute one benchmark's X-based results in a worker process.
+
+    Explicit knobs override the (fork- or spawn-) inherited environment;
+    unset knobs fall through to whatever the caller exported.
+    """
+    _apply_knobs(batch_size, no_cache)
+    return x_based(name)
+
+
+def run_suite(
+    names: list[str] | None = None,
+    jobs: int | None = None,
+    batch_size: int | None = None,
+    no_cache: bool = False,
+) -> list[BenchmarkResults]:
+    """X-based analysis of *names* (default: all 14), fanned out over
+    ``jobs`` worker processes.
+
+    ``jobs=None`` picks ``min(len(names), cpu_count)``; ``jobs=1`` runs
+    sequentially in-process (the caller's environment is restored after).
+    Each worker fills the shared disk cache, so repeated runs are warm
+    regardless of the original fan-out.  Results come back in input
+    order; duplicate names are computed once.
+    """
+    names = list(names) if names is not None else all_names()
+    for name in names:
+        get_benchmark(name)  # fail fast on typos before forking workers
+    unique = list(dict.fromkeys(names))
+    if jobs is None:
+        jobs = max(1, min(len(unique), os.cpu_count() or 1))
+    if jobs <= 1 or len(unique) <= 1:
+        saved = {var: os.environ.get(var) for var in _KNOB_VARS}
+        try:
+            _apply_knobs(batch_size, no_cache)
+            by_name = {
+                name: x_based(name) for name in unique
+            }
+        finally:
+            for var, value in saved.items():
+                if value is None:
+                    os.environ.pop(var, None)
+                else:
+                    os.environ[var] = value
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                name: pool.submit(_suite_worker, name, batch_size, no_cache)
+                for name in unique
+            }
+            by_name = {name: future.result() for name, future in futures.items()}
+    return [by_name[name] for name in names]
 
 
 @dataclass
@@ -205,7 +362,6 @@ def optimized(name: str) -> OptimizedResults:
         suggestions = opt.suggest(reports)
         applied: list[str] = []
         opt_report = base
-        opt_stats = base_result
         if suggestions:
             rewritten = opt.apply(benchmark.source, suggestions)
             if rewritten.applied:
@@ -233,4 +389,5 @@ def optimized(name: str) -> OptimizedResults:
             opt_trace_mw=opt_report.peak_power.trace_mw,
         )
 
-    return _cached(f"optimized_{name}", compute)
+    benchmark = get_benchmark(name)
+    return _cached(f"optimized_{name}_{_bench_token(benchmark)}", compute)

@@ -38,6 +38,22 @@ class Benchmark:
     def program(self) -> Program:
         return assemble(self.source, self.name)
 
+    def analysis_kwargs(self, batch_size: int | None = None) -> dict:
+        """Keyword arguments for :func:`repro.core.api.analyze`.
+
+        Bundles this kernel's exploration budgets (and optionally the
+        engine's *batch_size*) so the runner, the CLI, and the perf
+        harness all analyze a benchmark identically.
+        """
+        kwargs = {
+            "loop_bound": self.loop_bound,
+            "max_segments": self.max_segments,
+            "max_cycles": self.max_cycles,
+        }
+        if batch_size is not None:
+            kwargs["batch_size"] = batch_size
+        return kwargs
+
     def input_sets(self, count: int, seed: int = 2017) -> list[list[int]]:
         """Deterministic profiling input sets (the paper runs "several")."""
         rng = np.random.default_rng(seed)

@@ -5,18 +5,28 @@ Usage::
     python -m repro analyze  prog.asm [--loop-bound N] [--vcd-dir DIR]
     python -m repro profile  prog.asm --inputs 1,2,3 [--inputs 4,5,6 ...]
     python -m repro coi      prog.asm [--count N]
-    python -m repro suite    [--benchmarks mult,tea8,...]
+    python -m repro suite    [--benchmarks mult,tea8,...] [--jobs N]
+                             [--no-cache]
+    python -m repro bench    [--benchmarks ...] [--output BENCH_suite.json]
 
 ``analyze`` prints the guaranteed input-independent peak power and energy
 for an assembly program whose ``.input`` regions are symbolic; ``profile``
 measures concrete input sets and applies the 4/3 guardband; ``coi`` shows
 the cycles of interest with culprit instructions; ``suite`` runs the
-Table 4.1 benchmarks end to end.
+Table 4.1 benchmarks end to end (process-parallel, disk-cached);
+``bench`` times the scalar vs batched engines and writes a perf-trajectory
+JSON artifact.
+
+Engine knobs shared by the analysis commands: ``--batch-size N`` settles N
+execution paths in lock-step (1 = the scalar reference engine; default 8,
+also settable via ``REPRO_BATCH_SIZE``).  ``suite --no-cache`` (or
+``REPRO_NO_CACHE=1``) bypasses the versioned disk cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -46,6 +56,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     report = analyze(
         cpu, program, model,
         loop_bound=args.loop_bound, vcd_dir=args.vcd_dir,
+        batch_size=args.batch_size,
     )
     print(report.summary())
     print(f"peak power : {report.peak_power_mw:.3f} mW (all inputs)")
@@ -74,7 +85,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
 def cmd_coi(args: argparse.Namespace) -> int:
     cpu, model = _make_context()
     program = _load_program(args.program)
-    report = analyze(cpu, program, model, loop_bound=args.loop_bound)
+    report = analyze(
+        cpu, program, model,
+        loop_bound=args.loop_bound, batch_size=args.batch_size,
+    )
     reports = cycles_of_interest(
         report.tree, report.peak_power, program, count=args.count
     )
@@ -87,12 +101,37 @@ def cmd_coi(args: argparse.Namespace) -> int:
 def cmd_suite(args: argparse.Namespace) -> int:
     from repro.bench import runner
 
+    if args.no_cache:
+        os.environ["REPRO_NO_CACHE"] = "1"
     names = args.benchmarks.split(",") if args.benchmarks else runner.all_names()
-    for name in names:
-        result = runner.x_based(name)
-        print(f"{name:>10}: peak {result.peak_power_mw:.3f} mW, "
+    results = runner.run_suite(
+        names,
+        jobs=args.jobs,
+        batch_size=args.batch_size,
+        no_cache=args.no_cache,
+    )
+    for result in results:
+        print(f"{result.name:>10}: peak {result.peak_power_mw:.3f} mW, "
               f"NPE {result.npe_pj_per_cycle:.2f} pJ/cycle, "
               f"{result.n_segments} segments")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.perf import run_perf_suite, write_report
+
+    names = args.benchmarks.split(",") if args.benchmarks else None
+    report = run_perf_suite(
+        names, batch_size=args.batch_size, repeats=args.repeats
+    )
+    write_report(report, args.output)
+    for row in report["benchmarks"]:
+        print(f"{row['name']:>10}: scalar {row['scalar_s']:.2f}s "
+              f"({row['scalar_cycles_per_s']:.0f} cyc/s), "
+              f"batched {row['batched_s']:.2f}s "
+              f"({row['batched_cycles_per_s']:.0f} cyc/s), "
+              f"speedup {row['speedup']:.2f}x")
+    print(f"wrote {args.output}")
     return 0
 
 
@@ -104,11 +143,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_batch_size(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--batch-size", type=int, default=None, metavar="N",
+            help="settle N execution paths in lock-step "
+                 "(1 = scalar engine; default 8 or $REPRO_BATCH_SIZE)",
+        )
+
     p_analyze = sub.add_parser("analyze", help="X-based analysis of a program")
     p_analyze.add_argument("program", help="assembly source file")
     p_analyze.add_argument("--loop-bound", type=int, default=None)
     p_analyze.add_argument("--vcd-dir", default=None,
                            help="write even/odd VCD artifacts here")
+    add_batch_size(p_analyze)
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_profile = sub.add_parser("profile", help="guardbanded input profiling")
@@ -121,12 +168,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_coi.add_argument("program")
     p_coi.add_argument("--count", type=int, default=5)
     p_coi.add_argument("--loop-bound", type=int, default=None)
+    add_batch_size(p_coi)
     p_coi.set_defaults(func=cmd_coi)
 
     p_suite = sub.add_parser("suite", help="run Table 4.1 benchmarks")
     p_suite.add_argument("--benchmarks", default=None,
                          help="comma-separated subset (default: all)")
+    p_suite.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes (default: one per benchmark, "
+                              "capped at the core count; 1 = in-process)")
+    p_suite.add_argument("--no-cache", action="store_true",
+                         help="bypass the versioned disk cache "
+                              "(same as REPRO_NO_CACHE=1)")
+    add_batch_size(p_suite)
     p_suite.set_defaults(func=cmd_suite)
+
+    p_bench = sub.add_parser(
+        "bench", help="time scalar vs batched engines, write perf JSON"
+    )
+    p_bench.add_argument("--benchmarks", default=None,
+                         help="comma-separated subset (default: the "
+                              "multi-path trio Viterbi,inSort,binSearch "
+                              "plus mult)")
+    p_bench.add_argument("--output", default="BENCH_suite.json")
+    p_bench.add_argument("--repeats", type=int, default=1)
+    add_batch_size(p_bench)
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -8,6 +8,23 @@ reads, a pending path is pushed, keyed by the (state, assignment) pair so
 already-simulated paths are never re-simulated (this is what lets
 input-dependent loops terminate).
 
+Two engines implement the exploration:
+
+* the **scalar** engine simulates one pending path at a time on a
+  :class:`~repro.sim.machine.Machine` (the original reference), and
+* the **batched** engine (the default) drains the pending-path queue up to
+  ``batch_size`` paths at a time on a
+  :class:`~repro.sim.batch.BatchMachine`, settling all of them per cycle
+  with one set of matrix operations.  Retired lanes are refilled from the
+  queue mid-flight so the batch stays full.
+
+Both produce the *same* :class:`ExecutionTree`, bit for bit: a pending
+path's entire future is determined by its memoization key, so the batched
+engine simulates the same set of path segments (in whatever order the
+batch schedule visits them) and then replays the scalar engine's exact
+stack discipline over the discovered segment graph to assign segment
+indices, parents, fork targets and the flat-trace layout.
+
 The output is an :class:`ExecutionTree`: a set of trace *segments* linked
 by fork edges (including memoized back/cross edges), plus the flattened
 concatenated trace that Algorithm 2 consumes.
@@ -15,12 +32,30 @@ concatenated trace that Algorithm 2 consumes.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.asm.program import Program
-from repro.sim.trace import Trace
+from repro.sim.batch import BatchMachine
+from repro.sim.trace import CycleRecord, Trace
+
+#: batch width used when ``explore(..., batch_size=None)``; override with
+#: the ``REPRO_BATCH_SIZE`` environment variable (1 = scalar engine).
+DEFAULT_BATCH_SIZE = 8
+
+
+def default_batch_size() -> int:
+    raw = os.environ.get("REPRO_BATCH_SIZE")
+    if not raw:
+        return DEFAULT_BATCH_SIZE
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BATCH_SIZE must be an integer, got {raw!r}"
+        ) from None
 
 
 class PathExplosionError(Exception):
@@ -105,18 +140,21 @@ class _Pending:
     memo_key: bytes
 
 
-def _memo_key(machine, snapshot: dict, forces: dict[int, int]) -> bytes:
+def _memo_key(dff_out, snapshot: dict, forces: dict[int, int]) -> bytes:
     """Key = architectural state at the branch + the flag concretization."""
     import hashlib
 
     from repro.sim.machine import Machine
 
     h = hashlib.blake2b(digest_size=16)
-    h.update(Machine.snapshot_state_key(snapshot, machine.evaluator.dff_out))
+    h.update(Machine.snapshot_state_key(snapshot, dff_out))
     for net in sorted(forces):
         h.update(net.to_bytes(4, "little"))
         h.update(forces[net].to_bytes(1, "little"))
     return h.digest()
+
+
+_ROOT_KEY = b"root"
 
 
 def explore(
@@ -125,21 +163,48 @@ def explore(
     max_cycles: int = 200_000,
     max_segments: int = 4_096,
     max_cycles_per_path: int = 50_000,
+    batch_size: int | None = None,
 ) -> ExecutionTree:
     """Run Algorithm 1 for *program* on the gate-level *cpu*.
+
+    *batch_size* selects the engine: ``1`` runs the scalar reference,
+    anything larger settles that many pending paths in lock-step, and
+    ``None`` (the default) uses :func:`default_batch_size`.  Both engines
+    return identical trees.
 
     Returns the annotated execution tree.  Raises
     :class:`PathExplosionError` when the exploration budget is exceeded and
     :class:`repro.cpu.UnresolvedPCError` when the PC becomes X outside a
     forkable conditional branch.
     """
+    if batch_size is None:
+        batch_size = default_batch_size()
+    if batch_size <= 1:
+        return _explore_scalar(
+            cpu, program, max_cycles, max_segments, max_cycles_per_path
+        )
+    return _explore_batched(
+        cpu, program, max_cycles, max_segments, max_cycles_per_path, batch_size
+    )
+
+
+# ----------------------------------------------------------------------
+# Scalar engine: one pending path at a time (the original reference).
+# ----------------------------------------------------------------------
+def _explore_scalar(
+    cpu,
+    program: Program,
+    max_cycles: int,
+    max_segments: int,
+    max_cycles_per_path: int,
+) -> ExecutionTree:
     machine = cpu.make_machine(program, symbolic_inputs=True)
     flat = Trace(machine.netlist.n_nets)
     segments: list[Segment] = []
     total_cycles = 0
 
     root = _Pending(
-        snapshot=machine.snapshot(), forces={}, parent=None, memo_key=b"root"
+        snapshot=machine.snapshot(), forces={}, parent=None, memo_key=_ROOT_KEY
     )
     stack: list[_Pending] = [root]
     #: memo_key -> segment index (future segments get patched when popped)
@@ -190,7 +255,9 @@ def explore(
                 total_cycles -= 1
                 segment.end = "fork"
                 for assignment in assignments:
-                    key = _memo_key(machine, snap_before, assignment)
+                    key = _memo_key(
+                        machine.evaluator.dff_out, snap_before, assignment
+                    )
                     fork_no = len(segment.forks)
                     if key in seen:
                         n_memo_hits += 1
@@ -215,6 +282,163 @@ def explore(
                         )
                 break
         segment.n_cycles = cycles_here
+
+    tree = ExecutionTree(
+        segments=segments, flat_trace=flat, n_memo_hits=n_memo_hits
+    )
+    _check_resolved(tree)
+    return tree
+
+
+# ----------------------------------------------------------------------
+# Batched engine: drain the pending-path queue B lanes at a time.
+# ----------------------------------------------------------------------
+@dataclass
+class _Node:
+    """One simulated path segment, keyed by its memoization key."""
+
+    key: bytes
+    records: list[CycleRecord] = field(default_factory=list)
+    end: str = ""
+    #: (flag assignment, child memo key) in branch-enumeration order
+    forks: list[tuple[dict[int, int], bytes]] = field(default_factory=list)
+
+
+def _explore_batched(
+    cpu,
+    program: Program,
+    max_cycles: int,
+    max_segments: int,
+    max_cycles_per_path: int,
+    batch_size: int,
+) -> ExecutionTree:
+    machine = cpu.make_machine(program, symbolic_inputs=True)
+    batch = BatchMachine(
+        machine.netlist,
+        machine.ports,
+        machine.evaluator,
+        batch_size,
+        annotator=machine.annotator,
+    )
+    dff_out = machine.evaluator.dff_out
+
+    root = _Pending(
+        snapshot=machine.snapshot(), forces={}, parent=None, memo_key=_ROOT_KEY
+    )
+    stack: list[_Pending] = [root]
+    seen: set[bytes] = {root.memo_key}
+    nodes: dict[bytes, _Node] = {}
+    total_cycles = 0
+
+    lane_node: dict[int, _Node] = {}  # id(lane) -> segment being simulated
+    lane_cycles: dict[int, int] = {}
+
+    def start(pending: _Pending) -> None:
+        if len(nodes) >= max_segments:
+            raise PathExplosionError(
+                f"{program.name}: more than {max_segments} path segments"
+            )
+        node = _Node(key=pending.memo_key)
+        nodes[pending.memo_key] = node
+        lane = batch.load(pending.snapshot, pending.forces)
+        lane_node[id(lane)] = node
+        lane_cycles[id(lane)] = 0
+
+    def refill() -> None:
+        while stack and batch.n_free:
+            start(stack.pop())
+
+    refill()
+    while batch.lanes:
+        # Pre-step snapshots: a fork restarts its children from the state
+        # *before* the X-condition dispatch cycle (they re-execute it with
+        # concrete flags), exactly like the scalar engine's snap_before.
+        snap_before = {id(lane): batch.snapshot(lane) for lane in batch.lanes}
+        records = batch.step()
+        for lane, record in zip(list(batch.lanes), records):
+            node = lane_node[id(lane)]
+            node.records.append(record)
+            lane_cycles[id(lane)] += 1
+            total_cycles += 1
+            if total_cycles > max_cycles:
+                raise PathExplosionError(
+                    f"{program.name}: exceeded {max_cycles} total cycles"
+                )
+            if lane_cycles[id(lane)] > max_cycles_per_path:
+                raise PathExplosionError(
+                    f"{program.name}: path exceeded {max_cycles_per_path} cycles"
+                )
+            view = batch.lane_view(lane)
+            if cpu.halted(view):
+                node.end = "halt"
+            elif cpu.pc_next_unknown(view):
+                assignments = cpu.branch_fork_assignments(view)
+                node.records.pop()
+                lane_cycles[id(lane)] -= 1
+                total_cycles -= 1
+                node.end = "fork"
+                snapshot = snap_before[id(lane)]
+                for assignment in assignments:
+                    key = _memo_key(dff_out, snapshot, assignment)
+                    node.forks.append((assignment, key))
+                    if key not in seen:
+                        seen.add(key)
+                        stack.append(
+                            _Pending(
+                                snapshot=snapshot,
+                                forces=assignment,
+                                parent=None,  # assigned by the replay
+                                memo_key=key,
+                            )
+                        )
+            else:
+                continue
+            batch.retire(lane)
+            del lane_node[id(lane)], lane_cycles[id(lane)]
+        refill()
+
+    return _assemble_tree(nodes, machine.netlist.n_nets)
+
+
+def _assemble_tree(nodes: dict[bytes, _Node], n_nets: int) -> ExecutionTree:
+    """Replay the scalar engine's stack discipline over the segment graph.
+
+    Segment content is order-independent (a memo key determines its whole
+    future), but segment *numbering*, parents, memo-hit bookkeeping and the
+    flat-trace layout all encode the scalar engine's depth-first pop order.
+    Replaying that order over the discovered ``{key: node}`` graph makes the
+    batched tree bit-identical to the scalar one.
+    """
+    flat = Trace(n_nets)
+    segments: list[Segment] = []
+    index_of: dict[bytes, int] = {}
+    patches: list[tuple[int, int, bytes]] = []
+    n_memo_hits = 0
+
+    stack: list[tuple[bytes, tuple[int, int] | None]] = [(_ROOT_KEY, None)]
+    seen: set[bytes] = {_ROOT_KEY}
+    while stack:
+        key, parent = stack.pop()
+        node = nodes[key]
+        segment = Segment(index=len(segments), parent=parent)
+        segment.flat_start = len(flat)
+        segment.n_cycles = len(node.records)
+        segment.end = node.end
+        segments.append(segment)
+        index_of[key] = segment.index
+        flat.records.extend(node.records)
+        for assignment, child_key in node.forks:
+            fork_no = len(segment.forks)
+            segment.forks.append(Fork(assignment, -1))
+            patches.append((segment.index, fork_no, child_key))
+            if child_key in seen:
+                n_memo_hits += 1
+            else:
+                seen.add(child_key)
+                stack.append((child_key, (segment.index, fork_no)))
+
+    for seg_index, fork_no, child_key in patches:
+        segments[seg_index].forks[fork_no].target = index_of[child_key]
 
     tree = ExecutionTree(
         segments=segments, flat_trace=flat, n_memo_hits=n_memo_hits

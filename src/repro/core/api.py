@@ -57,10 +57,21 @@ def analyze(
     max_cycles: int = 200_000,
     max_segments: int = 4_096,
     vcd_dir=None,
+    batch_size: int | None = None,
 ) -> AnalysisReport:
-    """Full input-independent peak power and energy analysis."""
+    """Full input-independent peak power and energy analysis.
+
+    *batch_size* selects the exploration engine (see
+    :func:`repro.core.activity.explore`): ``1`` forces the scalar
+    reference, larger values settle that many execution paths in
+    lock-step; the default uses the batched engine.
+    """
     tree = explore(
-        cpu, program, max_cycles=max_cycles, max_segments=max_segments
+        cpu,
+        program,
+        max_cycles=max_cycles,
+        max_segments=max_segments,
+        batch_size=batch_size,
     )
     peak_power = compute_peak_power(tree, model, vcd_dir=vcd_dir)
     peak_energy = compute_peak_energy(tree, peak_power, loop_bound=loop_bound)

@@ -1,0 +1,218 @@
+"""Lock-step batched simulation of independent machine states.
+
+A :class:`BatchMachine` holds up to B *lanes*, each a complete machine
+state (net values, behavioral memory, memory-port registers) loaded from a
+:meth:`repro.sim.machine.Machine.snapshot` dict.  One :meth:`step` clocks
+every live lane simultaneously: the combinational settle and the activity
+marking run as single ``(K, n_nets)`` matrix operations through the
+dimension-agnostic :class:`~repro.sim.evaluator.LevelizedEvaluator`, while
+the small per-lane parts (behavioral memory, forced inputs, annotations)
+stay ordinary Python.
+
+Live lanes are kept compacted in the leading rows of the value matrix
+(retiring a lane swaps the last live row into the hole), so the matrix
+work always scales with the number of *live* paths: a single-path stretch
+costs the same as the scalar engine, a K-path stretch settles per
+level-group with one fancy-indexing operation instead of K.
+
+This is the engine behind the batched execution-tree exploration in
+:mod:`repro.core.activity`.  Lanes are snapshot-compatible with
+:class:`Machine` in both directions, so the explorer can mix engines
+freely and the differential tests can compare them record for record.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.netlist.core import Netlist
+from repro.sim.evaluator import LevelizedEvaluator
+from repro.sim.machine import (
+    MemoryPorts,
+    _MemRequest,
+    force_bus,
+    read_bus,
+    sample_memory_control,
+    serve_memory_read,
+)
+from repro.sim.trace import CycleRecord
+
+
+class Lane:
+    """Handle to one live machine state inside a :class:`BatchMachine`.
+
+    ``row`` is the lane's current row in the value matrix; it changes when
+    other lanes retire, so always go through the handle.
+    """
+
+    __slots__ = (
+        "row",
+        "memory",
+        "cycle",
+        "dout_value",
+        "dout_xmask",
+        "_request",
+        "forced_inputs",
+        "next_dff_forces",
+    )
+
+    def __init__(self, row: int, snapshot: dict[str, Any], forces: dict[int, int]):
+        self.row = row
+        self.memory = snapshot["memory"].copy()
+        self.cycle = snapshot["cycle"]
+        self.dout_value = snapshot["dout_value"]
+        self.dout_xmask = snapshot["dout_xmask"]
+        self._request = _MemRequest(**vars(snapshot["request"]))
+        self.forced_inputs = dict(snapshot["forced_inputs"])
+        self.next_dff_forces = dict(forces)
+
+
+class LaneView:
+    """Read-only :class:`Machine`-shaped window onto one lane.
+
+    Exposes exactly the surface the CPU wrapper's introspection hooks use
+    (``values`` and ``peek_bus``), so ``cpu.halted``, ``cpu.pc_next_unknown``,
+    ``cpu.branch_fork_assignments`` and ``cpu.annotate`` work unchanged on a
+    batched lane.
+    """
+
+    __slots__ = ("_batch", "_lane")
+
+    def __init__(self, batch: "BatchMachine", lane: Lane):
+        self._batch = batch
+        self._lane = lane
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._batch.values[self._lane.row]
+
+    def peek_bus(self, nets: list[int]) -> tuple[int, int]:
+        return read_bus(self.values, nets)
+
+
+class BatchMachine:
+    """Up to ``batch_size`` machine states clocked in lock-step."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        ports: MemoryPorts,
+        evaluator: LevelizedEvaluator,
+        batch_size: int,
+        annotator: Callable | None = None,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.netlist = netlist
+        self.ports = ports
+        self.evaluator = evaluator
+        self.batch_size = batch_size
+        self.annotator = annotator
+        self.values = evaluator.fresh_values(batch=batch_size)
+        self._prev_active = np.zeros((batch_size, netlist.n_nets), dtype=bool)
+        self.lanes: list[Lane] = []
+        self._dff_pos = {
+            int(net): pos for pos, net in enumerate(evaluator.dff_out)
+        }
+
+    # ------------------------------------------------------------------
+    # Lane management
+    # ------------------------------------------------------------------
+    @property
+    def n_free(self) -> int:
+        return self.batch_size - len(self.lanes)
+
+    def load(self, snapshot: dict[str, Any], forces: dict[int, int]) -> Lane:
+        """Restore a :meth:`Machine.snapshot` dict into a fresh lane.
+
+        *forces* are one-shot DFF overrides consumed by the lane's next
+        step — the explorer's concrete assumption for an unknown flag.
+        """
+        if not self.n_free:
+            raise ValueError(f"all {self.batch_size} lanes are live")
+        lane = Lane(len(self.lanes), snapshot, forces)
+        self.lanes.append(lane)
+        self.values[lane.row] = snapshot["values"]
+        self._prev_active[lane.row] = snapshot["prev_active"]
+        return lane
+
+    def retire(self, lane: Lane) -> None:
+        """Remove *lane*, compacting live rows to the top of the matrix."""
+        last = self.lanes.pop()
+        if last is not lane:
+            self.values[lane.row] = self.values[last.row]
+            self._prev_active[lane.row] = self._prev_active[last.row]
+            last.row = lane.row
+            self.lanes[lane.row] = last
+        lane.row = -1
+
+    def lane_view(self, lane: Lane) -> LaneView:
+        return LaneView(self, lane)
+
+    def snapshot(self, lane: Lane) -> dict[str, Any]:
+        """A :class:`Machine`-compatible snapshot of one lane."""
+        return {
+            "values": self.values[lane.row].copy(),
+            "memory": lane.memory.copy(),
+            "cycle": lane.cycle,
+            "dout_value": lane.dout_value,
+            "dout_xmask": lane.dout_xmask,
+            "request": _MemRequest(**vars(lane._request)),
+            "prev_active": self._prev_active[lane.row].copy(),
+            "forced_inputs": dict(lane.forced_inputs),
+            "next_dff_forces": dict(lane.next_dff_forces),
+        }
+
+    # ------------------------------------------------------------------
+    # Clocking
+    # ------------------------------------------------------------------
+    def step(self) -> list[CycleRecord]:
+        """Advance every live lane one clock cycle.
+
+        Returns one record per lane, parallel to :attr:`lanes`; records
+        match what a scalar :class:`Machine` stepping the same lane state
+        would produce, field for field.
+        """
+        n_live = len(self.lanes)
+        evaluator = self.evaluator
+        values = self.values[:n_live]
+        prev_active = self._prev_active[:n_live]
+        prev_values = values.copy()
+        next_dff = evaluator.next_dff_values(values, reset=False)
+        mem_counts: list[tuple[float, float]] = []
+        for lane in self.lanes:
+            if lane.next_dff_forces:
+                for net, value in lane.next_dff_forces.items():
+                    next_dff[lane.row, self._dff_pos[net]] = value
+                lane.next_dff_forces = {}
+            mem_counts.append(serve_memory_read(lane))
+        values[:, evaluator.dff_out] = next_dff
+        for lane in self.lanes:
+            row = values[lane.row]
+            force_bus(row, self.ports.dout, lane.dout_value, lane.dout_xmask)
+            for net, value in lane.forced_inputs.items():
+                row[net] = value
+        evaluator.eval_comb(values)
+        active = evaluator.compute_activity(prev_values, values, prev_active)
+        self._prev_active[:n_live] = active
+        records: list[CycleRecord] = []
+        for lane, (mem_reads, mem_writes) in zip(self.lanes, mem_counts):
+            sample_memory_control(lane, values[lane.row], self.ports)
+            records.append(
+                CycleRecord(
+                    cycle=lane.cycle,
+                    values=values[lane.row].copy(),
+                    active=active[lane.row].copy(),
+                    mem_reads=mem_reads,
+                    mem_writes=mem_writes,
+                    annotations=(
+                        self.annotator(self.lane_view(lane))
+                        if self.annotator
+                        else {}
+                    ),
+                )
+            )
+            lane.cycle += 1
+        return records

@@ -7,6 +7,13 @@ instead of a Python loop over gates.  It also implements the paper's gate
 
     "A gate is considered active if its value changes or if it has an
      unknown value (X) and is driven by an active gate; otherwise idle."
+
+Every method is dimension-agnostic: it accepts either a single value
+vector of shape ``(n_nets,)`` or a batch matrix of shape ``(B, n_nets)``
+whose rows are independent machine states.  Batched evaluation settles B
+pending execution paths in lock-step — one fancy-indexing operation per
+level-group covers all paths — which is what amortizes the per-cycle numpy
+dispatch cost across the execution tree (see :mod:`repro.sim.batch`).
 """
 
 from __future__ import annotations
@@ -66,31 +73,40 @@ class LevelizedEvaluator:
             [g.index for g in netlist.gates if g.kind == "INPUT"], dtype=np.int64
         )
 
-    def fresh_values(self) -> np.ndarray:
-        """All-X value vector with constants tied (the paper's initial state)."""
-        values = np.full(self.n_nets, X, dtype=np.uint8)
-        values[self.const0_nets] = 0
-        values[self.const1_nets] = 1
+    def fresh_values(self, batch: int | None = None) -> np.ndarray:
+        """All-X value state with constants tied (the paper's initial state).
+
+        With ``batch=None`` the shape is ``(n_nets,)``; otherwise
+        ``(batch, n_nets)`` with independent rows.
+        """
+        shape = self.n_nets if batch is None else (batch, self.n_nets)
+        values = np.full(shape, X, dtype=np.uint8)
+        values[..., self.const0_nets] = 0
+        values[..., self.const1_nets] = 1
         return values
 
     def eval_comb(self, values: np.ndarray) -> None:
-        """Settle all combinational gates in place, level by level."""
+        """Settle all combinational gates in place, level by level.
+
+        *values* may be one vector or a ``(B, n_nets)`` batch; each row is
+        settled independently (fancy indexing broadcasts row-wise).
+        """
         for level in self._groups:
             for group in level:
                 kind = group.kind
                 if kind == "NOT":
-                    values[group.out] = NOT_TABLE[values[group.ins[0]]]
+                    values[..., group.out] = NOT_TABLE[values[..., group.ins[0]]]
                 elif kind == "BUF":
-                    values[group.out] = BUF_TABLE[values[group.ins[0]]]
+                    values[..., group.out] = BUF_TABLE[values[..., group.ins[0]]]
                 elif kind == "MUX":
-                    values[group.out] = MUX_TABLE[
-                        values[group.ins[0]],
-                        values[group.ins[1]],
-                        values[group.ins[2]],
+                    values[..., group.out] = MUX_TABLE[
+                        values[..., group.ins[0]],
+                        values[..., group.ins[1]],
+                        values[..., group.ins[2]],
                     ]
                 elif kind in BINARY_TABLES:
-                    values[group.out] = BINARY_TABLES[kind][
-                        values[group.ins[0]], values[group.ins[1]]
+                    values[..., group.out] = BINARY_TABLES[kind][
+                        values[..., group.ins[0]], values[..., group.ins[1]]
                     ]
                 else:  # pragma: no cover - construction guarantees coverage
                     raise AssertionError(f"unexpected comb kind {kind}")
@@ -100,8 +116,12 @@ class LevelizedEvaluator:
     ) -> np.ndarray:
         """The values every DFF will present after the next clock edge."""
         if reset:
+            if values.ndim == 2:
+                return np.broadcast_to(
+                    self.dff_reset, (values.shape[0], self.dff_reset.size)
+                ).copy()
             return self.dff_reset.copy()
-        return values[self.dff_d].copy()
+        return values[..., self.dff_d].copy()
 
     def compute_activity(
         self,
@@ -115,21 +135,24 @@ class LevelizedEvaluator:
         output is X is only marked active when its D input was active when
         sampled.  Inputs (externally forced nets) are active when they
         changed or are X — an unknown external value may toggle at any time.
+        Accepts matching ``(n_nets,)`` vectors or ``(B, n_nets)`` batches.
         """
         changed = prev_values != values
         is_x = values == X
         active = changed.copy()
-        active[self.input_nets] |= is_x[self.input_nets]
+        active[..., self.input_nets] |= is_x[..., self.input_nets]
         if self.dff_out.size:
             if prev_d_activity is not None:
-                dff_driven = prev_d_activity[self.dff_d]
+                dff_driven = prev_d_activity[..., self.dff_d]
             else:
-                dff_driven = np.zeros(self.dff_out.size, dtype=bool)
-            active[self.dff_out] |= is_x[self.dff_out] & dff_driven
+                dff_driven = np.zeros(
+                    values.shape[:-1] + (self.dff_out.size,), dtype=bool
+                )
+            active[..., self.dff_out] |= is_x[..., self.dff_out] & dff_driven
         for level in self._groups:
             for group in level:
-                driven = active[group.ins[0]]
+                driven = active[..., group.ins[0]]
                 for other in group.ins[1:]:
-                    driven = driven | active[other]
-                active[group.out] |= is_x[group.out] & driven
+                    driven = driven | active[..., other]
+                active[..., group.out] |= is_x[..., group.out] & driven
         return active

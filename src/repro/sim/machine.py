@@ -80,6 +80,65 @@ def force_bus(
             values[net] = (value >> position) & 1
 
 
+# ----------------------------------------------------------------------
+# Memory-port protocol, shared by Machine and sim.batch.BatchMachine.
+# *state* is any object carrying ``memory``, ``dout_value``, ``dout_xmask``
+# and ``_request`` attributes; keeping one implementation guarantees the
+# scalar and batched engines can never drift apart.
+# ----------------------------------------------------------------------
+def sample_memory_control(state, values: np.ndarray, ports: "MemoryPorts") -> None:
+    """Latch the memory request from settled *values* and commit writes."""
+    addr_value, addr_xmask = read_bus(values, ports.addr)
+    request = _MemRequest()
+    request.addr_known = addr_xmask == 0
+    request.addr = addr_value if request.addr_known else None
+    request.en = int(values[ports.en])
+    request.we = int(values[ports.we])
+    request.din_value, request.din_xmask = read_bus(values, ports.din)
+    state._request = request
+    commit_memory_write(state, request)
+
+
+def commit_memory_write(state, request: _MemRequest) -> None:
+    if request.we == 0:
+        return
+    if request.we == 1:
+        state.memory.write(
+            request.addr if request.addr_known else None,
+            request.din_value,
+            request.din_xmask,
+        )
+    else:  # we == X: the store may or may not happen
+        state.memory.write_uncertain(
+            request.addr if request.addr_known else None,
+            request.din_value,
+            request.din_xmask,
+        )
+
+
+def serve_memory_read(state) -> tuple[float, float]:
+    """Update the dout register; return (reads, writes) this cycle."""
+    request = state._request
+    reads = writes = 0.0
+    if request.en == 1:
+        value, xmask = state.memory.read(
+            request.addr if request.addr_known else None
+        )
+        state.dout_value, state.dout_xmask = value, xmask
+        reads = 1.0
+    elif request.en == X:
+        value, xmask = state.memory.read(
+            request.addr if request.addr_known else None
+        )
+        differs = (state.dout_value ^ value) | state.dout_xmask | xmask
+        state.dout_value &= ~differs & MASK16
+        state.dout_xmask = differs & MASK16
+        reads = 1.0  # conservative: the access may happen
+    if request.we in (1, X):
+        writes = 1.0
+    return reads, writes
+
+
 class Machine:
     """A complete clocked system: CPU netlist plus behavioral memory."""
 
@@ -192,55 +251,11 @@ class Machine:
             self.values[net] = value
 
     def _sample_memory_control(self) -> None:
-        addr_value, addr_xmask = read_bus(self.values, self.ports.addr)
-        request = _MemRequest()
-        request.addr_known = addr_xmask == 0
-        request.addr = addr_value if request.addr_known else None
-        request.en = int(self.values[self.ports.en])
-        request.we = int(self.values[self.ports.we])
-        request.din_value, request.din_xmask = read_bus(
-            self.values, self.ports.din
-        )
-        self._request = request
-        self._commit_write(request)
-
-    def _commit_write(self, request: _MemRequest) -> None:
-        if request.we == 0:
-            return
-        if request.we == 1:
-            self.memory.write(
-                request.addr if request.addr_known else None,
-                request.din_value,
-                request.din_xmask,
-            )
-        else:  # we == X: the store may or may not happen
-            self.memory.write_uncertain(
-                request.addr if request.addr_known else None,
-                request.din_value,
-                request.din_xmask,
-            )
+        sample_memory_control(self, self.values, self.ports)
 
     def _serve_read(self) -> tuple[float, float]:
         """Update the dout register; return (reads, writes) this cycle."""
-        request = self._request
-        reads = writes = 0.0
-        if request.en == 1:
-            value, xmask = self.memory.read(
-                request.addr if request.addr_known else None
-            )
-            self.dout_value, self.dout_xmask = value, xmask
-            reads = 1.0
-        elif request.en == X:
-            value, xmask = self.memory.read(
-                request.addr if request.addr_known else None
-            )
-            differs = (self.dout_value ^ value) | self.dout_xmask | xmask
-            self.dout_value &= ~differs & MASK16
-            self.dout_xmask = differs & MASK16
-            reads = 1.0  # conservative: the access may happen
-        if request.we in (1, X):
-            writes = 1.0
-        return reads, writes
+        return serve_memory_read(self)
 
     def step(self, reset: bool = False, trace: Trace | None = None) -> CycleRecord:
         """Advance one clock cycle and optionally record it into *trace*."""

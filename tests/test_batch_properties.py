@@ -1,0 +1,187 @@
+"""Property-based tests for the batched 3-valued logic core.
+
+Randomized (seeded) netlists and value matrices check the two invariants
+the batched engine rests on:
+
+* **batch ≡ scalar**: evaluating a ``(B, n_nets)`` matrix settles every
+  row exactly as evaluating each row alone — for ``eval_comb``,
+  ``compute_activity``, and ``next_dff_values``;
+* **semantics**: the vectorized lookup tables agree gate-by-gate with the
+  scalar Kleene operators of :mod:`repro.logic.ternary`, and the paper's
+  X-propagation/activity marking rule holds row-wise (a gate is active iff
+  it changed, or it is X and driven by an active gate).
+"""
+
+import numpy as np
+import pytest
+
+from repro.logic import X, ternary
+from repro.netlist.builder import NetlistBuilder
+from repro.sim.evaluator import LevelizedEvaluator
+
+SCALAR_OPS = {
+    "AND": ternary.t_and,
+    "OR": ternary.t_or,
+    "NAND": ternary.t_nand,
+    "NOR": ternary.t_nor,
+    "XOR": ternary.t_xor,
+    "XNOR": ternary.t_xnor,
+}
+UNARY_OPS = {"NOT": ternary.t_not, "BUF": ternary.t_buf}
+
+
+def random_netlist(rng: np.random.Generator, n_inputs: int, n_gates: int):
+    """A random combinational netlist over every gate kind and arity."""
+    nb = NetlistBuilder("prop")
+    nets = list(nb.bus_input("in", n_inputs))
+    nets.append(nb.const0())
+    nets.append(nb.const1())
+    kinds = list(SCALAR_OPS) + list(UNARY_OPS) + ["MUX"]
+    for _ in range(n_gates):
+        kind = kinds[rng.integers(0, len(kinds))]
+        pick = lambda: nets[rng.integers(0, len(nets))]
+        if kind in UNARY_OPS:
+            net = nb.not_(pick()) if kind == "NOT" else nb.buf(pick())
+        elif kind == "MUX":
+            net = nb.mux(pick(), pick(), pick())
+        else:
+            build = {
+                "AND": nb.and_, "OR": nb.or_, "NAND": nb.nand,
+                "NOR": nb.nor, "XOR": nb.xor, "XNOR": nb.xnor,
+            }[kind]
+            net = build(pick(), pick())
+        nets.append(net)
+    nb.output("out", nets[-1])
+    return nb.finish()
+
+
+def random_batch(
+    rng: np.random.Generator, evaluator: LevelizedEvaluator, batch: int
+) -> np.ndarray:
+    """A settled random batch: random {0,1,X} inputs, comb evaluated."""
+    values = evaluator.fresh_values(batch=batch)
+    values[:, evaluator.input_nets] = rng.integers(
+        0, 3, size=(batch, evaluator.input_nets.size), dtype=np.uint8
+    )
+    evaluator.eval_comb(values)
+    return values
+
+
+@pytest.fixture(params=range(8))
+def rng(request):
+    return np.random.default_rng(1000 + request.param)
+
+
+class TestBatchedEvalEqualsScalar:
+    def test_eval_comb_rowwise(self, rng):
+        netlist = random_netlist(rng, n_inputs=int(rng.integers(2, 9)),
+                                 n_gates=int(rng.integers(20, 120)))
+        evaluator = LevelizedEvaluator(netlist)
+        batch = int(rng.integers(1, 12))
+        values = evaluator.fresh_values(batch=batch)
+        values[:, evaluator.input_nets] = rng.integers(
+            0, 3, size=(batch, evaluator.input_nets.size), dtype=np.uint8
+        )
+        expected = values.copy()
+        for row in expected:  # the scalar reference, one vector at a time
+            evaluator.eval_comb(row)
+        evaluator.eval_comb(values)
+        assert np.array_equal(values, expected)
+
+    def test_eval_comb_matches_ternary_semantics(self, rng):
+        netlist = random_netlist(rng, n_inputs=4, n_gates=60)
+        evaluator = LevelizedEvaluator(netlist)
+        values = random_batch(rng, evaluator, batch=5)
+        for row in values:
+            for gate in netlist.gates:
+                if gate.kind in SCALAR_OPS:
+                    a, b = (int(row[i]) for i in gate.inputs)
+                    assert row[gate.index] == SCALAR_OPS[gate.kind](a, b)
+                elif gate.kind in UNARY_OPS:
+                    assert row[gate.index] == UNARY_OPS[gate.kind](
+                        int(row[gate.inputs[0]])
+                    )
+                elif gate.kind == "MUX":
+                    sel, a, b = (int(row[i]) for i in gate.inputs)
+                    assert row[gate.index] == ternary.t_mux(sel, a, b)
+
+    def test_compute_activity_rowwise(self, rng):
+        netlist = random_netlist(rng, n_inputs=6, n_gates=80)
+        evaluator = LevelizedEvaluator(netlist)
+        batch = int(rng.integers(2, 10))
+        prev = random_batch(rng, evaluator, batch)
+        cur = random_batch(rng, evaluator, batch)
+        batched = evaluator.compute_activity(prev, cur)
+        for row in range(batch):
+            scalar = evaluator.compute_activity(prev[row], cur[row])
+            assert np.array_equal(batched[row], scalar), f"row {row}"
+
+    def test_next_dff_values_rowwise(self, rng):
+        nb = NetlistBuilder("dffs")
+        ins = nb.bus_input("in", 4)
+        for position, net in enumerate(ins):
+            nb.dff(net, reset_value=position % 2)
+        netlist = nb.finish()
+        evaluator = LevelizedEvaluator(netlist)
+        values = evaluator.fresh_values(batch=6)
+        values[:, evaluator.input_nets] = rng.integers(
+            0, 3, size=(6, 4), dtype=np.uint8
+        )
+        batched = evaluator.next_dff_values(values, reset=False)
+        for row in range(6):
+            assert np.array_equal(
+                batched[row], evaluator.next_dff_values(values[row], reset=False)
+            )
+        reset = evaluator.next_dff_values(values, reset=True)
+        assert reset.shape == (6, evaluator.dff_out.size)
+        assert np.array_equal(
+            reset[0], evaluator.next_dff_values(values[0], reset=True)
+        )
+        reset[0, 0] ^= 1  # broadcast result must be writable per-row
+        assert not np.array_equal(reset[0], reset[1])
+
+
+class TestActivityRule:
+    """The paper's marking rule, checked literally and row-wise."""
+
+    def test_changed_gates_are_active(self, rng):
+        netlist = random_netlist(rng, n_inputs=5, n_gates=50)
+        evaluator = LevelizedEvaluator(netlist)
+        prev = random_batch(rng, evaluator, 4)
+        cur = random_batch(rng, evaluator, 4)
+        active = evaluator.compute_activity(prev, cur)
+        assert np.all(active[prev != cur]), "every changed net must be active"
+
+    def test_known_unchanged_gates_are_idle(self, rng):
+        netlist = random_netlist(rng, n_inputs=5, n_gates=50)
+        evaluator = LevelizedEvaluator(netlist)
+        prev = random_batch(rng, evaluator, 4)
+        cur = random_batch(rng, evaluator, 4)
+        active = evaluator.compute_activity(prev, cur)
+        idle = (prev == cur) & (cur != X)
+        assert not np.any(active[idle]), "known unchanged nets must be idle"
+
+    def test_x_propagation_from_driving_gates(self, rng):
+        netlist = random_netlist(rng, n_inputs=5, n_gates=70)
+        evaluator = LevelizedEvaluator(netlist)
+        prev = random_batch(rng, evaluator, 3)
+        cur = random_batch(rng, evaluator, 3)
+        active = evaluator.compute_activity(prev, cur)
+        input_set = set(int(net) for net in evaluator.input_nets)
+        for row in range(3):
+            for gate in netlist.gates:
+                if gate.index in input_set:
+                    expected = (
+                        prev[row, gate.index] != cur[row, gate.index]
+                        or cur[row, gate.index] == X
+                    )
+                elif gate.kind in ("CONST0", "CONST1"):
+                    expected = prev[row, gate.index] != cur[row, gate.index]
+                else:
+                    driven = any(active[row, i] for i in gate.inputs)
+                    expected = prev[row, gate.index] != cur[row, gate.index] or (
+                        cur[row, gate.index] == X and driven
+                    )
+                assert bool(active[row, gate.index]) == expected, (
+                    f"row {row}, gate {gate.index} ({gate.kind})"
+                )

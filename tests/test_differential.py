@@ -1,0 +1,118 @@
+"""Differential regression layer: batched engine ≡ scalar engine.
+
+For every Table 4.1 benchmark the batched exploration engine must produce
+the *same* :class:`ExecutionTree` as the scalar reference — segment for
+segment, fork for fork, trace record for trace record — and the analysis
+numbers computed from it must match the golden values pinned from the
+seed's scalar run (``tests/golden_suite.json``).
+
+The heavy multi-path kernels make this the most expensive test module in
+the suite; everything per benchmark is computed once in a module-scoped
+fixture and shared across the assertions.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.suite import ALL_BENCHMARKS, get_benchmark
+from repro.cells import SG65
+from repro.core.activity import explore
+from repro.core.peakenergy import compute_peak_energy
+from repro.core.peakpower import compute_peak_power
+from repro.power.model import PowerModel
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_suite.json").read_text()
+)
+
+#: comfortably tighter than any real drift, loose enough for libm/numpy
+#: version skew in the last couple of ulps
+REL = 1e-9
+
+
+def assert_trees_identical(scalar, batched):
+    assert len(batched.segments) == len(scalar.segments)
+    assert batched.n_memo_hits == scalar.n_memo_hits
+    for ours, ref in zip(batched.segments, scalar.segments):
+        assert ours.index == ref.index
+        assert ours.parent == ref.parent
+        assert ours.flat_start == ref.flat_start
+        assert ours.n_cycles == ref.n_cycles
+        assert ours.end == ref.end
+        assert [(f.assignment, f.target) for f in ours.forks] == [
+            (f.assignment, f.target) for f in ref.forks
+        ]
+    assert len(batched.flat_trace) == len(scalar.flat_trace)
+    assert np.array_equal(
+        batched.flat_trace.values_matrix(), scalar.flat_trace.values_matrix()
+    ), "settled net values differ"
+    assert np.array_equal(
+        batched.flat_trace.active_matrix(), scalar.flat_trace.active_matrix()
+    ), "activity flags differ"
+    assert np.array_equal(
+        batched.flat_trace.mem_accesses(), scalar.flat_trace.mem_accesses()
+    ), "memory access counts differ"
+    for ours, ref in zip(batched.flat_trace.records, scalar.flat_trace.records):
+        assert ours.cycle == ref.cycle
+        assert ours.annotations == ref.annotations
+
+
+@pytest.fixture(scope="module")
+def model(cpu):
+    return PowerModel(cpu.netlist, SG65, clock_ns=10.0)
+
+
+@pytest.fixture(scope="module", params=sorted(ALL_BENCHMARKS))
+def engines(request, cpu):
+    """(name, scalar tree, batched tree) for one benchmark."""
+    name = request.param
+    benchmark = get_benchmark(name)
+    trees = [
+        explore(
+            cpu,
+            benchmark.program(),
+            max_cycles=benchmark.max_cycles,
+            max_segments=benchmark.max_segments,
+            batch_size=batch_size,
+        )
+        for batch_size in (1, 8)
+    ]
+    return name, trees[0], trees[1]
+
+
+class TestBatchedEqualsScalar:
+    def test_execution_tree_bit_identical(self, engines):
+        _name, scalar, batched = engines
+        assert_trees_identical(scalar, batched)
+
+    def test_analysis_matches_golden(self, engines, model):
+        """Batched-engine analysis reproduces the pinned seed numbers."""
+        name, _scalar, batched = engines
+        benchmark = get_benchmark(name)
+        peak_power = compute_peak_power(batched, model)
+        peak_energy = compute_peak_energy(
+            batched, peak_power, loop_bound=benchmark.loop_bound
+        )
+        golden = GOLDEN[name]
+        assert len(batched.segments) == golden["n_segments"]
+        assert batched.n_cycles == golden["n_cycles"]
+        assert batched.n_memo_hits == golden["n_memo_hits"]
+        assert peak_power.peak_cycle == golden["peak_cycle"]
+        assert peak_energy.path_cycles == golden["path_cycles"]
+        assert peak_power.peak_power_mw == pytest.approx(
+            golden["peak_power_mw"], rel=REL
+        )
+        assert peak_energy.peak_energy_pj == pytest.approx(
+            golden["peak_energy_pj"], rel=REL
+        )
+        assert peak_energy.normalized_peak_energy_pj_per_cycle == pytest.approx(
+            golden["npe_pj_per_cycle"], rel=REL
+        )
+
+
+class TestGoldenCoverage:
+    def test_all_benchmarks_pinned(self):
+        assert set(GOLDEN) == set(ALL_BENCHMARKS)
