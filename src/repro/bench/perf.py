@@ -1,11 +1,17 @@
-"""Perf-trajectory harness: scalar vs batched engine wall-clock.
+"""Perf-trajectory harness: per-phase scalar vs batched wall-clock.
 
-``python -m repro.bench`` (or ``python -m repro bench``) times Algorithm
-1's symbolic exploration with the scalar reference engine and the batched
-engine on the same benchmarks — always cold (no disk cache involved) — and
-writes a ``BENCH_suite.json`` artifact with per-benchmark wall-clock and
-cycles/second.  Future PRs regenerate the file to track speedups and catch
-regressions of the hot path.
+``python -m repro.bench`` (or ``python -m repro bench``) times every phase
+of the analyze pipeline — Algorithm 1 exploration, Algorithm 2 peak power,
+§3.3 peak energy, and the input-profiling baseline — with the scalar
+reference and the batched/vectorized engines on the same benchmarks,
+always cold (no disk cache involved), and writes a ``BENCH_suite.json``
+artifact (schema 2) with per-phase wall-clock so future PRs can attribute
+speedups and catch regressions of each hot path separately.  The GA
+stressmark baseline is program-independent and timed once per report.
+
+Every comparison also cross-checks the engines against each other (tree
+shape, bit-identical peak traces, identical profiling measurements), so a
+bench run doubles as a coarse differential test.
 """
 
 from __future__ import annotations
@@ -15,30 +21,49 @@ import platform
 import time
 from pathlib import Path
 
-from repro.bench.suite import get_benchmark
+import numpy as np
+
+from repro.bench.suite import ALL_BENCHMARKS, get_benchmark
+from repro.cells import SG65
 from repro.core.activity import default_batch_size, explore
+from repro.core.baselines import input_profiling
+from repro.core.peakenergy import compute_peak_energy
+from repro.core.peakpower import compute_peak_power
+from repro.core.stressmark import generate_stressmark
 from repro.cpu import build_ulp430
+from repro.power.model import PowerModel
 
-#: The acceptance trio of multi-path kernels, plus the single-path mult
-#: kernel as a batching-overhead canary.
-DEFAULT_PERF_BENCHMARKS = ["Viterbi", "inSort", "binSearch", "mult"]
+#: ``None`` benchmark selection = the whole Table 4.1 suite.
+DEFAULT_PERF_BENCHMARKS = sorted(ALL_BENCHMARKS)
+
+#: input sets timed per benchmark in the baselines phase (the suite's
+#: profiling default).
+N_PROFILING_INPUTS = 8
+
+#: reduced GA configuration for the stressmark timing entry — large
+#: enough to exercise the batched population evaluation, small enough to
+#: keep the bench run bounded.
+STRESSMARK_KWARGS = dict(population=6, generations=2, genome_length=8)
 
 
-def _time_explore(cpu, benchmark, batch_size: int, repeats: int):
+def _best(fn, repeats: int):
+    """(best wall-clock, last result) of *repeats* calls."""
     best = None
-    tree = None
+    result = None
     for _ in range(repeats):
         start = time.perf_counter()
-        tree = explore(
-            cpu,
-            benchmark.program(),
-            max_cycles=benchmark.max_cycles,
-            max_segments=benchmark.max_segments,
-            batch_size=batch_size,
-        )
+        result = fn()
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
-    return best, tree
+    return best, result
+
+
+def _phase(scalar_s: float, fast_s: float, fast_key: str) -> dict:
+    return {
+        "scalar_s": round(scalar_s, 3),
+        fast_key: round(fast_s, 3),
+        "speedup": round(scalar_s / fast_s, 2) if fast_s else 0.0,
+    }
 
 
 def run_perf_suite(
@@ -47,42 +72,125 @@ def run_perf_suite(
     repeats: int = 1,
     cpu=None,
 ) -> dict:
-    """Time scalar vs batched exploration; return the report dict."""
+    """Time every pipeline phase, scalar vs batched; return the report."""
     names = names if names is not None else list(DEFAULT_PERF_BENCHMARKS)
     if batch_size is None:
         batch_size = default_batch_size()
     cpu = cpu or build_ulp430()
+    model = PowerModel(cpu.netlist, SG65, clock_ns=10.0)
     rows = []
     for name in names:
         benchmark = get_benchmark(name)
-        scalar_s, scalar_tree = _time_explore(cpu, benchmark, 1, repeats)
-        batched_s, batched_tree = _time_explore(
-            cpu, benchmark, batch_size, repeats
-        )
-        if batched_tree.n_cycles != scalar_tree.n_cycles or len(
-            batched_tree.segments
-        ) != len(scalar_tree.segments):
-            raise AssertionError(
-                f"{name}: engines disagree "
-                f"({len(scalar_tree.segments)} vs "
-                f"{len(batched_tree.segments)} segments)"
+        program = benchmark.program()
+
+        def run_explore(engine_batch: int):
+            return explore(
+                cpu,
+                program,
+                max_cycles=benchmark.max_cycles,
+                max_segments=benchmark.max_segments,
+                batch_size=engine_batch,
             )
+
+        explore_scalar_s, scalar_tree = _best(lambda: run_explore(1), repeats)
+        scalar_shape = (scalar_tree.n_cycles, len(scalar_tree.segments))
+        # Drop the reference tree before timing anything else: the real
+        # pipeline has one tree alive, and ~40 MB of stale record arrays
+        # measurably slows the streaming phases on small-cache hosts.
+        del scalar_tree
+        explore_batched_s, tree = _best(
+            lambda: run_explore(batch_size), repeats
+        )
+        if (tree.n_cycles, len(tree.segments)) != scalar_shape:
+            raise AssertionError(
+                f"{name}: explore engines disagree "
+                f"({scalar_shape} vs {(tree.n_cycles, len(tree.segments))})"
+            )
+
+        power_scalar_s, power_scalar = _best(
+            lambda: compute_peak_power(tree, model, engine="scalar"), repeats
+        )
+        scalar_trace = power_scalar.trace_mw
+        del power_scalar  # keep only the trace for the cross-check
+        power_stacked_s, power = _best(
+            lambda: compute_peak_power(tree, model, engine="stacked"), repeats
+        )
+        if not np.array_equal(scalar_trace, power.trace_mw):
+            raise AssertionError(f"{name}: peak-power engines disagree")
+
+        energy_s, _energy = _best(
+            lambda: compute_peak_energy(
+                tree, power, loop_bound=benchmark.loop_bound
+            ),
+            repeats,
+        )
+
+        input_sets = benchmark.input_sets(N_PROFILING_INPUTS)
+        profiling_scalar_s, profile_scalar = _best(
+            lambda: input_profiling(
+                cpu, program, input_sets, model, batch_size=1
+            ),
+            repeats,
+        )
+        profiling_batched_s, profile = _best(
+            lambda: input_profiling(
+                cpu, program, input_sets, model, batch_size=batch_size
+            ),
+            repeats,
+        )
+        if [run.peak_power_mw for run in profile.runs] != [
+            run.peak_power_mw for run in profile_scalar.runs
+        ]:
+            raise AssertionError(f"{name}: profiling engines disagree")
+
+        total_s = (
+            explore_batched_s + power_stacked_s + energy_s + profiling_batched_s
+        )
         rows.append(
             {
                 "name": name,
-                "n_segments": len(scalar_tree.segments),
-                "n_cycles": scalar_tree.n_cycles,
-                "scalar_s": round(scalar_s, 3),
-                "batched_s": round(batched_s, 3),
-                "scalar_cycles_per_s": round(scalar_tree.n_cycles / scalar_s, 1),
-                "batched_cycles_per_s": round(
-                    batched_tree.n_cycles / batched_s, 1
+                "n_segments": len(tree.segments),
+                "n_cycles": tree.n_cycles,
+                "explore": {
+                    **_phase(explore_scalar_s, explore_batched_s, "batched_s"),
+                    "scalar_cycles_per_s": round(
+                        tree.n_cycles / explore_scalar_s, 1
+                    ),
+                    "batched_cycles_per_s": round(
+                        tree.n_cycles / explore_batched_s, 1
+                    ),
+                },
+                "peakpower": _phase(
+                    power_scalar_s, power_stacked_s, "stacked_s"
                 ),
-                "speedup": round(scalar_s / batched_s, 2),
+                "peakenergy": {"s": round(energy_s, 3)},
+                "baselines": _phase(
+                    profiling_scalar_s, profiling_batched_s, "batched_s"
+                ),
+                "total_s": round(total_s, 3),
             }
         )
+
+    stressmark_scalar_s, stressmark_scalar = _best(
+        lambda: generate_stressmark(
+            cpu, model, batch_size=1, **STRESSMARK_KWARGS
+        ),
+        repeats,
+    )
+    stressmark_batched_s, stressmark_batched = _best(
+        lambda: generate_stressmark(
+            cpu, model, batch_size=batch_size, **STRESSMARK_KWARGS
+        ),
+        repeats,
+    )
+    if (
+        stressmark_scalar.source != stressmark_batched.source
+        or stressmark_scalar.peak_power_mw != stressmark_batched.peak_power_mw
+        or stressmark_scalar.avg_power_mw != stressmark_batched.avg_power_mw
+    ):
+        raise AssertionError("stressmark: GA engines disagree")
     return {
-        "schema": 1,
+        "schema": 2,
         "engine": {"batch_size": batch_size, "repeats": repeats},
         "host": {
             "python": platform.python_version(),
@@ -90,6 +198,9 @@ def run_perf_suite(
         },
         "generated": time.strftime("%Y-%m-%d"),
         "benchmarks": rows,
+        "stressmark": _phase(
+            stressmark_scalar_s, stressmark_batched_s, "batched_s"
+        ),
     }
 
 

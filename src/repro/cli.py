@@ -72,7 +72,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
     input_sets = [
         [int(token, 0) for token in spec.split(",")] for spec in args.inputs
     ]
-    profile = input_profiling(cpu, program, input_sets, model)
+    profile = input_profiling(
+        cpu, program, input_sets, model, batch_size=args.batch_size
+    )
     for run in profile.runs:
         print(f"inputs={run.inputs}: peak {run.peak_power_mw:.3f} mW, "
               f"{run.energy_pj:.1f} pJ over {run.cycles} cycles")
@@ -126,11 +128,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     write_report(report, args.output)
     for row in report["benchmarks"]:
-        print(f"{row['name']:>10}: scalar {row['scalar_s']:.2f}s "
-              f"({row['scalar_cycles_per_s']:.0f} cyc/s), "
-              f"batched {row['batched_s']:.2f}s "
-              f"({row['batched_cycles_per_s']:.0f} cyc/s), "
-              f"speedup {row['speedup']:.2f}x")
+        print(f"{row['name']:>10}: "
+              f"explore {row['explore']['speedup']:.2f}x "
+              f"({row['explore']['scalar_s']:.2f}s -> "
+              f"{row['explore']['batched_s']:.2f}s), "
+              f"peakpower {row['peakpower']['speedup']:.2f}x "
+              f"({row['peakpower']['scalar_s']:.2f}s -> "
+              f"{row['peakpower']['stacked_s']:.2f}s), "
+              f"baselines {row['baselines']['speedup']:.2f}x, "
+              f"total {row['total_s']:.2f}s")
+    sm = report["stressmark"]
+    print(f"stressmark: {sm['speedup']:.2f}x "
+          f"({sm['scalar_s']:.2f}s -> {sm['batched_s']:.2f}s)")
     print(f"wrote {args.output}")
     return 0
 
@@ -162,6 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("program")
     p_profile.add_argument("--inputs", action="append", required=True,
                            help="comma-separated input words; repeatable")
+    add_batch_size(p_profile)
     p_profile.set_defaults(func=cmd_profile)
 
     p_coi = sub.add_parser("coi", help="cycles-of-interest report")
@@ -184,12 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.set_defaults(func=cmd_suite)
 
     p_bench = sub.add_parser(
-        "bench", help="time scalar vs batched engines, write perf JSON"
+        "bench", help="time each pipeline phase scalar vs batched, "
+                      "write perf JSON"
     )
     p_bench.add_argument("--benchmarks", default=None,
-                         help="comma-separated subset (default: the "
-                              "multi-path trio Viterbi,inSort,binSearch "
-                              "plus mult)")
+                         help="comma-separated subset (default: all 14)")
     p_bench.add_argument("--output", default="BENCH_suite.json")
     p_bench.add_argument("--repeats", type=int, default=1)
     add_batch_size(p_bench)

@@ -70,14 +70,9 @@ class ProfilingBaseline:
         return min(npes), max(npes)
 
 
-def profile_one(
-    cpu, program: Program, inputs: list[int], model: PowerModel,
-    port_in: int = 0, max_cycles: int = 200_000,
+def _measure(
+    inputs: list[int], trace: Trace, model: PowerModel
 ) -> ProfiledInput:
-    concrete = program.with_inputs(inputs)
-    machine = cpu.make_machine(concrete, symbolic_inputs=False, port_in=port_in)
-    trace = Trace(machine.netlist.n_nets)
-    cycles = cpu.run_to_halt(machine, max_cycles=max_cycles, trace=trace)
     power = model.trace_power(trace.values_matrix(), trace.mem_accesses())
     return ProfiledInput(
         inputs=inputs,
@@ -88,14 +83,56 @@ def profile_one(
     )
 
 
+def profile_one(
+    cpu, program: Program, inputs: list[int], model: PowerModel,
+    port_in: int = 0, max_cycles: int = 200_000,
+) -> ProfiledInput:
+    concrete = program.with_inputs(inputs)
+    machine = cpu.make_machine(concrete, symbolic_inputs=False, port_in=port_in)
+    trace = Trace(machine.netlist.n_nets)
+    cpu.run_to_halt(machine, max_cycles=max_cycles, trace=trace)
+    return _measure(inputs, trace, model)
+
+
 def input_profiling(
     cpu,
     program: Program,
     input_sets: list[list[int]],
     model: PowerModel,
+    batch_size: int | None = None,
+    max_cycles: int = 200_000,
 ) -> ProfilingBaseline:
-    """The paper's profiling baseline over several input sets."""
-    runs = [profile_one(cpu, program, inputs, model) for inputs in input_sets]
+    """The paper's profiling baseline over several input sets.
+
+    The input sets are embarrassingly parallel, so with ``batch_size > 1``
+    (the default, see :func:`repro.core.activity.default_batch_size`) all
+    concrete runs advance in lock-step on a
+    :class:`~repro.sim.batch.BatchMachine`; ``batch_size=1`` runs them one
+    at a time on the scalar :class:`~repro.sim.machine.Machine`.  Both
+    produce bit-identical traces, hence identical measurements.
+    """
+    from repro.core.activity import default_batch_size
+    from repro.sim.batch import run_batch_to_halt
+
+    if batch_size is None:
+        batch_size = default_batch_size()
+    if batch_size <= 1 or len(input_sets) <= 1:
+        runs = [
+            profile_one(cpu, program, inputs, model, max_cycles=max_cycles)
+            for inputs in input_sets
+        ]
+        return ProfilingBaseline(runs=runs)
+    machines = [
+        cpu.make_machine(
+            program.with_inputs(inputs), symbolic_inputs=False, port_in=0
+        )
+        for inputs in input_sets
+    ]
+    results = run_batch_to_halt(cpu, machines, batch_size, max_cycles)
+    runs = [
+        _measure(inputs, trace, model)
+        for inputs, (trace, _cycles) in zip(input_sets, results)
+    ]
     return ProfilingBaseline(runs=runs)
 
 

@@ -44,6 +44,14 @@ class PeakEnergyResult:
 def _segment_energies_pj(
     tree: ExecutionTree, peak: PeakPowerResult
 ) -> list[float]:
+    """Per-segment peak-trace energies.
+
+    Algorithm 2 already sums each segment while scattering its results
+    back (``PeakPowerResult.segment_energy_pj``); re-slicing the flat
+    trace is only the fallback for hand-built result objects.
+    """
+    if peak.segment_energy_pj is not None:
+        return [float(e) for e in peak.segment_energy_pj]
     energies = []
     for segment in tree.segments:
         sl = tree.segment_slice(segment)

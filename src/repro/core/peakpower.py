@@ -11,7 +11,25 @@ maximized it.
 Execution-tree structure matters here: a segment's first cycle transitions
 from its *parent's* last cycle, not from whatever segment happens to
 precede it in the flattened trace, so maximization and power evaluation
-run per segment with an explicit predecessor row.
+need an explicit predecessor row per segment.
+
+Two engines implement the algorithm:
+
+* the **stacked** engine (the default) lays every segment out in one
+  2-D tensor — a context row holding the predecessor values followed by
+  the segment's cycles — so X-assignment for *all* segments and *all*
+  same-parity cycles is a single gather/mask/scatter, and
+  :meth:`~repro.power.model.PowerModel.trace_power` runs **once** per
+  parity over the whole stack.  Context rows act as the segment-validity
+  mask: their power values are simply never gathered back.  (The padded
+  ``(n_segments, max_len, n_nets)`` formulation would waste
+  ``max_len/mean_len`` of the tensor on padding; interleaving context
+  rows keeps the stack dense with identical semantics.)
+* the **scalar** engine walks segments one at a time with a per-cycle
+  Python loop — the original reference, retained for differential tests.
+
+Both produce bit-identical results: same even/odd profiles, same peak
+trace, same per-module breakdowns.
 """
 
 from __future__ import annotations
@@ -38,6 +56,9 @@ class PeakPowerResult:
     even_values: np.ndarray
     odd_values: np.ndarray
     clock_ns: float
+    #: per-segment peak-trace energies (pJ), parallel to ``tree.segments``;
+    #: peak-energy analysis consumes these instead of re-slicing the trace.
+    segment_energy_pj: np.ndarray | None = None
 
     def power_trace(self) -> PowerTrace:
         return PowerTrace(
@@ -56,10 +77,16 @@ def maximize_parity(
 ) -> np.ndarray:
     """Assign Xs to maximize switching power in cycles of one parity.
 
-    Implements lines 4-17 of Algorithm 2: for every active gate in a target
-    cycle, an X pair becomes the cell's max-power transition, a single X
-    becomes the value that completes a toggle.  Row 0 is the predecessor
-    context and is never a target.
+    Implements lines 4-17 of Algorithm 2 for one segment: for every active
+    gate in a target cycle, an X pair becomes the cell's max-power
+    transition, a single X becomes the value that completes a toggle.  Row
+    0 is the predecessor context and is never a target.
+
+    This is the scalar reference; target cycles are independent of each
+    other (targets of one parity are two rows apart, and each touches only
+    itself and its predecessor row), which is what lets the stacked engine
+    process every target of every segment in one shot — see
+    :func:`_assign_parity_pairs`.
     """
     assigned = values.copy()
     n_cycles = values.shape[0]
@@ -80,23 +107,203 @@ def maximize_parity(
     return assigned
 
 
+def _assign_parity_pairs(
+    stacked: np.ndarray,
+    active: np.ndarray,
+    target_rows: np.ndarray,
+    max_prev: np.ndarray,
+    max_cur: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """X-assign one parity's (predecessor, target) row pairs in bulk.
+
+    Returns the assigned ``(prev, cur)`` pair matrices for
+    ``target_rows - 1`` / ``target_rows``.  Every target touches only
+    itself and its predecessor, and targets of one parity are two rows
+    apart, so all pairs — across all segments — resolve in four masked
+    in-place copies, no per-cycle Python loop.  ``np.copyto`` rather than
+    ``np.where`` chains: the selections are sparse in real traces, and
+    copyto streams the mask once instead of materializing blended
+    intermediates.
+    """
+    cur = stacked[target_rows]
+    prv = stacked[target_rows - 1]
+    act = active[target_rows]
+    cur_x = cur == X
+    prev_x = prv == X
+    both = act & cur_x & prev_x
+    only_cur = act & cur_x & ~prev_x
+    only_prev = act & prev_x & ~cur_x
+    # 1 - v is only selected where v is known 0/1; X lanes wrap harmlessly.
+    np.copyto(cur, 1 - prv, where=only_cur)
+    np.copyto(prv, 1 - cur, where=only_prev)  # only_prev excludes cur_x, so
+    # cur is original there despite the line above (only_cur needs cur_x).
+    np.copyto(cur, np.broadcast_to(max_cur, cur.shape), where=both)
+    np.copyto(prv, np.broadcast_to(max_prev, prv.shape), where=both)
+    return prv, cur
+
+
 def compute_peak_power(
     tree: ExecutionTree,
     model: PowerModel,
     per_module: bool = True,
     vcd_dir: str | Path | None = None,
+    engine: str = "stacked",
 ) -> PeakPowerResult:
     """Run Algorithm 2 over an activity-annotated execution tree.
 
-    When *vcd_dir* is given, the even- and odd-maximized activity profiles
-    are written as ``even.vcd`` / ``odd.vcd``, mirroring the paper's flow
-    of handing two VCD files to the power tool.
+    *engine* selects ``"stacked"`` (vectorized across segments, the
+    default) or ``"scalar"`` (the per-segment reference); both produce
+    bit-identical results.  When *vcd_dir* is given, the even- and
+    odd-maximized activity profiles are written as ``even.vcd`` /
+    ``odd.vcd``, mirroring the paper's flow of handing two VCD files to
+    the power tool.
     """
+    if engine == "stacked":
+        return _compute_stacked(tree, model, per_module, vcd_dir)
+    if engine == "scalar":
+        return _compute_scalar(tree, model, per_module, vcd_dir)
+    raise ValueError(f"unknown peak-power engine {engine!r}")
+
+
+def _finish(
+    tree: ExecutionTree,
+    model: PowerModel,
+    peak_trace: np.ndarray,
+    module_mw: dict[str, np.ndarray],
+    even_full: np.ndarray,
+    odd_full: np.ndarray,
+    vcd_dir: str | Path | None,
+) -> PeakPowerResult:
+    """Shared tail of both engines: segment sums, VCDs, result object."""
+    segment_energy = np.zeros(len(tree.segments))
+    for segment in tree.segments:
+        if segment.n_cycles:
+            sl = tree.segment_slice(segment)
+            segment_energy[segment.index] = (
+                peak_trace[sl].sum() * model.clock_ns
+            )
+
+    if vcd_dir is not None:
+        directory = Path(vcd_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        write_vcd(even_full, directory / "even.vcd", timescale_ns=model.clock_ns)
+        write_vcd(odd_full, directory / "odd.vcd", timescale_ns=model.clock_ns)
+
+    n_cycles = peak_trace.shape[0]
+    peak_cycle = int(peak_trace.argmax()) if n_cycles else 0
+    return PeakPowerResult(
+        peak_power_mw=float(peak_trace.max()) if n_cycles else 0.0,
+        peak_cycle=peak_cycle,
+        trace_mw=peak_trace,
+        module_mw=module_mw,
+        even_values=even_full,
+        odd_values=odd_full,
+        clock_ns=model.clock_ns,
+        segment_energy_pj=segment_energy,
+    )
+
+
+# ----------------------------------------------------------------------
+# Stacked engine: all segments, one tensor, one power evaluation per parity.
+# ----------------------------------------------------------------------
+def _compute_stacked(
+    tree: ExecutionTree,
+    model: PowerModel,
+    per_module: bool,
+    vcd_dir: str | Path | None,
+) -> PeakPowerResult:
     flat = tree.flat_trace
-    values = flat.values_matrix()
+    values = flat.values_matrix() if len(flat) else np.zeros((0, 0), np.uint8)
+    n_cycles = len(flat)
+    module_names = sorted(model.module_masks) if per_module else []
+    if n_cycles == 0:
+        return _finish(
+            tree, model, np.zeros(0),
+            {name: np.zeros(0) for name in module_names},
+            values.copy(), values.copy(), vcd_dir,
+        )
     active = flat.active_matrix()
     mem_accesses = flat.mem_accesses()
-    n_cycles, n_nets = values.shape
+    n_nets = values.shape[1]
+
+    # Lay every non-empty segment out as [context row, cycle rows...]; the
+    # context row carries the predecessor values (the parent's last cycle)
+    # so the transition into a segment's first cycle is priced correctly.
+    live = [s for s in tree.segments if s.n_cycles]
+    total_rows = n_cycles + len(live)
+    stacked = np.empty((total_rows, n_nets), dtype=values.dtype)
+    stacked_active = np.zeros((total_rows, n_nets), dtype=bool)
+    stacked_mem = np.zeros((total_rows, 2))
+    data_rows = np.empty(n_cycles, dtype=np.int64)  # flat cycle -> stack row
+    local_index = np.empty(n_cycles, dtype=np.int64)  # 1-based row in segment
+    row = 0
+    for segment in live:
+        sl = tree.segment_slice(segment)
+        if segment.parent is None:
+            context = values[sl.start]  # root: no predecessor transition
+        else:
+            parent = tree.segments[segment.parent[0]]
+            context = values[parent.flat_start + parent.n_cycles - 1]
+        stacked[row] = context
+        block = slice(row + 1, row + 1 + segment.n_cycles)
+        stacked[block] = values[sl]
+        stacked_active[block] = active[sl]
+        stacked_mem[block] = mem_accesses[sl]
+        data_rows[sl] = np.arange(block.start, block.stop)
+        local_index[sl] = np.arange(1, segment.n_cycles + 1)
+        row += 1 + segment.n_cycles
+
+    # One maximization + one power evaluation per parity, whole stack at
+    # a time.  Parity 1 targets local rows 1,3,5..., parity 0 rows 2,4,...
+    # The peak trace takes cycle c from the profile that targeted c's
+    # parity, so each profile is priced only at its own target rows — a
+    # parity-indexed scatter replaces the per-cycle choice loop.
+    odd_local = local_index % 2 == 1
+    peak_trace = np.empty(n_cycles)
+    module_mw = {name: np.empty(n_cycles) for name in module_names}
+    profiles_flat: list[np.ndarray] = []
+    for parity_mask in (odd_local, ~odd_local):
+        target_rows = data_rows[parity_mask]
+        new_prv, new_cur = _assign_parity_pairs(
+            stacked, stacked_active, target_rows, model.max_prev, model.max_cur
+        )
+        power = model.transition_power(
+            new_prv,
+            new_cur,
+            stacked_mem[target_rows],
+            per_module=per_module,
+        )
+        peak_trace[parity_mask] = power.total_mw
+        for name in module_names:
+            module_mw[name][parity_mask] = power.module_mw[name]
+        # The full even/odd witness profile: unmodified rows + this
+        # parity's assigned pairs, gathered back to the flat layout.
+        assigned = stacked.copy()
+        assigned[target_rows] = new_cur
+        assigned[target_rows - 1] = new_prv
+        profiles_flat.append(assigned[data_rows])
+
+    odd_full, even_full = profiles_flat
+    return _finish(
+        tree, model, peak_trace, module_mw, even_full, odd_full, vcd_dir
+    )
+
+
+# ----------------------------------------------------------------------
+# Scalar engine: one segment at a time (the original reference).
+# ----------------------------------------------------------------------
+def _compute_scalar(
+    tree: ExecutionTree,
+    model: PowerModel,
+    per_module: bool,
+    vcd_dir: str | Path | None,
+) -> PeakPowerResult:
+    flat = tree.flat_trace
+    values = flat.values_matrix() if len(flat) else np.zeros((0, 0), np.uint8)
+    active = flat.active_matrix() if len(flat) else np.zeros((0, 0), bool)
+    mem_accesses = flat.mem_accesses()
+    n_cycles = len(flat)
+    n_nets = values.shape[1] if n_cycles else 0
 
     peak_trace = np.zeros(n_cycles)
     module_names = sorted(model.module_masks) if per_module else []
@@ -140,19 +347,6 @@ def compute_peak_power(
         even_full[sl] = profiles[1][1:]
         odd_full[sl] = profiles[0][1:]
 
-    if vcd_dir is not None:
-        directory = Path(vcd_dir)
-        directory.mkdir(parents=True, exist_ok=True)
-        write_vcd(even_full, directory / "even.vcd", timescale_ns=model.clock_ns)
-        write_vcd(odd_full, directory / "odd.vcd", timescale_ns=model.clock_ns)
-
-    peak_cycle = int(peak_trace.argmax()) if n_cycles else 0
-    return PeakPowerResult(
-        peak_power_mw=float(peak_trace.max()) if n_cycles else 0.0,
-        peak_cycle=peak_cycle,
-        trace_mw=peak_trace,
-        module_mw=module_mw,
-        even_values=even_full,
-        odd_values=odd_full,
-        clock_ns=model.clock_ns,
+    return _finish(
+        tree, model, peak_trace, module_mw, even_full, odd_full, vcd_dir
     )

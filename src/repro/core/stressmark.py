@@ -128,6 +128,54 @@ def _evaluate(cpu, model: PowerModel, genome: list[Gene]) -> tuple[float, float]
     return power.peak(), power.average()
 
 
+def _evaluate_population(
+    cpu, model: PowerModel, pool: list[list[Gene]], batch_size: int
+) -> list[tuple[float, float]]:
+    """Score every genome of one generation; malformed individuals get 0.
+
+    With ``batch_size > 1`` all viable genomes run to halt in lock-step on
+    a :class:`~repro.sim.batch.BatchMachine` — the population evaluation
+    is the GA's entire cost, and its members are independent programs on
+    the same netlist.  Lock-step traces are bit-identical to scalar runs,
+    so evolution is unchanged; any batch-level failure falls back to the
+    scalar per-genome path, which reproduces the per-individual exception
+    semantics exactly.
+    """
+    scores: list[tuple[float, float]] = [(0.0, 0.0)] * len(pool)
+    if batch_size <= 1 or len(pool) <= 1:
+        for position, genome in enumerate(pool):
+            try:
+                scores[position] = _evaluate(cpu, model, genome)
+            except Exception:
+                pass  # malformed individual: selected out
+        return scores
+    try:
+        machines = []
+        positions = []
+        for position, genome in enumerate(pool):
+            try:
+                program = assemble(_genome_source(genome), "stressmark")
+                machines.append(
+                    cpu.make_machine(program, symbolic_inputs=False, port_in=0)
+                )
+                positions.append(position)
+            except Exception:
+                pass  # assembly failure: keep the zero score
+        from repro.sim.batch import run_batch_to_halt
+
+        results = run_batch_to_halt(cpu, machines, batch_size, max_cycles=5_000)
+        for position, (trace, _cycles) in zip(positions, results):
+            power = model.trace_power(
+                trace.values_matrix(), trace.mem_accesses()
+            )
+            scores[position] = (power.peak(), power.average())
+        return scores
+    except Exception:
+        # One bad lane poisons a lock-step batch; redo the generation on
+        # the scalar path so only the offending genome scores zero.
+        return _evaluate_population(cpu, model, pool, batch_size=1)
+
+
 def generate_stressmark(
     cpu,
     model: PowerModel,
@@ -136,10 +184,21 @@ def generate_stressmark(
     generations: int = 6,
     genome_length: int = 12,
     seed: int = 42,
+    batch_size: int | None = None,
 ) -> Stressmark:
-    """Breed a stressmark targeting ``"peak"`` or ``"average"`` power."""
+    """Breed a stressmark targeting ``"peak"`` or ``"average"`` power.
+
+    *batch_size* selects how many individuals are simulated in lock-step
+    per generation (``1`` = the scalar reference, ``None`` =
+    :func:`repro.core.activity.default_batch_size`); scores — and hence
+    the whole evolution — are identical for every setting.
+    """
     if objective not in ("peak", "average"):
         raise ValueError("objective must be 'peak' or 'average'")
+    if batch_size is None:
+        from repro.core.activity import default_batch_size
+
+        batch_size = default_batch_size()
     rng = np.random.default_rng(seed)
     pool = [
         [_random_gene(rng) for _ in range(genome_length)]
@@ -148,12 +207,9 @@ def generate_stressmark(
     scored = []
     best: tuple[float, float, list[Gene]] | None = None
     for _generation in range(generations):
+        scores = _evaluate_population(cpu, model, pool, batch_size)
         scored = []
-        for genome in pool:
-            try:
-                peak, avg = _evaluate(cpu, model, genome)
-            except Exception:
-                peak, avg = 0.0, 0.0  # malformed individual: selected out
+        for genome, (peak, avg) in zip(pool, scores):
             fitness = peak if objective == "peak" else avg
             scored.append((fitness, peak, avg, genome))
         scored.sort(key=lambda item: -item[0])

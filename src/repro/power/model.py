@@ -136,25 +136,25 @@ class PowerModel:
             mask = np.zeros(n, dtype=bool)
             mask[indices] = True
             self.module_masks[name] = mask
+        #: per-module net columns and compacted transition-energy weights:
+        #: a module's energy in one cycle is ``rising[:, cols] . w_rise``
+        #: + ``falling[:, cols] . w_fall`` — modules partition the nets,
+        #: so compacted dots cost one full-width pass across *all* modules
+        #: instead of one per module.
+        self._module_cols = {
+            name: np.flatnonzero(mask)
+            for name, mask in self.module_masks.items()
+        }
+        self._module_rise_w = {
+            name: self.e_rise[cols] for name, cols in self._module_cols.items()
+        }
+        self._module_fall_w = {
+            name: self.e_fall[cols] for name, cols in self._module_cols.items()
+        }
 
     # ------------------------------------------------------------------
     # Core computation
     # ------------------------------------------------------------------
-    def cycle_energies_fj(self, values_matrix: np.ndarray) -> np.ndarray:
-        """(n_cycles, n_nets) transition-energy matrix; row 0 is all zero."""
-        n_cycles, n_nets = values_matrix.shape
-        energies = np.zeros((n_cycles, n_nets))
-        if n_cycles < 2:
-            return energies
-        prev = values_matrix[:-1]
-        cur = values_matrix[1:]
-        toggled = prev != cur
-        rising = toggled & (cur != 0)  # into 1 — or into X, conservatively
-        falling = toggled & (cur == 0)
-        energies[1:][rising] = np.broadcast_to(self.e_rise, prev.shape)[rising]
-        energies[1:][falling] = np.broadcast_to(self.e_fall, prev.shape)[falling]
-        return energies
-
     def mem_energy_fj(self, mem_accesses: np.ndarray | None) -> np.ndarray | None:
         """Price a (n_cycles, 2) [reads, writes] matrix with the library."""
         if mem_accesses is None:
@@ -164,20 +164,54 @@ class PowerModel:
             + mem_accesses[:, 1] * self.library.mem_write_energy_fj
         )
 
-    def trace_power(
-        self,
-        values_matrix: np.ndarray,
-        mem_accesses: np.ndarray | None = None,
-        per_module: bool = False,
-    ) -> PowerTrace:
-        """Power trace for a fully (or partially) resolved value matrix.
+    #: rows per transition-energy chunk in :meth:`trace_power`.  Bounds
+    #: the (chunk, n_nets) float64 working set to a few MB so evaluating a
+    #: whole stacked trace in one call stays cache-resident instead of
+    #: streaming hundreds of MB of temporaries; chunking is row-wise, so
+    #: results are bit-identical regardless of the chunk size.
+    TRACE_CHUNK_ROWS = 256
 
-        Transitions into or out of X count as transitions at the rising
-        energy — conservative for the few never-initialized nets of a
-        concrete run; the symbolic flows resolve Xs before calling this.
+    def _transition_chunk(
+        self,
+        prev: np.ndarray,
+        cur: np.ndarray,
+        module_names: list[str],
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Transition energies for paired value rows: totals + per-module.
+
+        The kernel behind both :meth:`trace_power` and
+        :meth:`transition_power`.  einsum, not ``@``: BLAS matvec blocks
+        by matrix shape, so its row sums would depend on how the trace was
+        chunked; einsum reduces each row identically whatever the chunk
+        height, keeping results bit-identical across engines, chunk sizes,
+        and row subsets.
         """
-        energies = self.cycle_energies_fj(values_matrix)
-        totals = energies.sum(axis=1)
+        toggled = prev != cur
+        rising = (toggled & (cur != 0)).astype(np.float64)
+        falling = (toggled & (cur == 0)).astype(np.float64)
+        totals = np.einsum("cn,n->c", rising, self.e_rise)
+        totals += np.einsum("cn,n->c", falling, self.e_fall)
+        module_fj: dict[str, np.ndarray] = {}
+        for name in module_names:
+            cols = self._module_cols[name]
+            series = np.einsum(
+                "ck,k->c", rising[:, cols], self._module_rise_w[name]
+            )
+            series += np.einsum(
+                "ck,k->c", falling[:, cols], self._module_fall_w[name]
+            )
+            module_fj[name] = series
+        return totals, module_fj
+
+    def _assemble_power(
+        self,
+        totals: np.ndarray,
+        module_fj: dict[str, np.ndarray],
+        mem_accesses: np.ndarray | None,
+        per_module: bool,
+    ) -> PowerTrace:
+        """Fold memory/clock/leakage into energies; convert to mW."""
+        n_rows = len(totals)
         mem_energy_fj = self.mem_energy_fj(mem_accesses)
         if mem_energy_fj is not None:
             totals = totals + mem_energy_fj
@@ -185,9 +219,7 @@ class PowerModel:
         total_mw = totals / self.clock_ns * 1e-3 + self.leakage_mw
         module_mw: dict[str, np.ndarray] = {}
         if per_module:
-            n_rows = len(totals)
-            for name, mask in self.module_masks.items():
-                series = energies[:, mask].sum(axis=1)
+            for name, series in module_fj.items():
                 series = series + self.module_clk_fj.get(name, 0.0)
                 module_mw[name] = series / self.clock_ns * 1e-3
             mem_series = np.full(n_rows, self.library.mem_idle_fj)
@@ -202,6 +234,69 @@ class PowerModel:
             leakage_mw=self.leakage_mw,
             clock_ns=self.clock_ns,
         )
+
+    def trace_power(
+        self,
+        values_matrix: np.ndarray,
+        mem_accesses: np.ndarray | None = None,
+        per_module: bool = False,
+    ) -> PowerTrace:
+        """Power trace for a fully (or partially) resolved value matrix.
+
+        Transitions into or out of X count as transitions at the rising
+        energy — conservative for the few never-initialized nets of a
+        concrete run; the symbolic flows resolve Xs before calling this.
+        Accepts arbitrarily long traces: the transition-energy matrix is
+        reduced in bounded row chunks, never materialized whole.
+        """
+        n_rows = len(values_matrix)
+        totals = np.zeros(n_rows)
+        module_names = list(self.module_masks) if per_module else []
+        module_fj = {name: np.zeros(n_rows) for name in module_names}
+        chunk = self.TRACE_CHUNK_ROWS
+        for start in range(1, n_rows, chunk):
+            stop = min(start + chunk, n_rows)
+            # Row start-1 supplies each chunk row's previous values.
+            chunk_totals, chunk_modules = self._transition_chunk(
+                values_matrix[start - 1 : stop - 1],
+                values_matrix[start:stop],
+                module_names,
+            )
+            totals[start:stop] = chunk_totals
+            for name in module_names:
+                module_fj[name][start:stop] = chunk_modules[name]
+        return self._assemble_power(totals, module_fj, mem_accesses, per_module)
+
+    def transition_power(
+        self,
+        prev_rows: np.ndarray,
+        cur_rows: np.ndarray,
+        mem_accesses: np.ndarray | None = None,
+        per_module: bool = False,
+    ) -> PowerTrace:
+        """Power of explicit ``(previous, current)`` value-row pairs.
+
+        Row *i* prices the transition ``prev_rows[i] -> cur_rows[i]`` —
+        same kernel, constants, and bit-exact results as
+        :meth:`trace_power`, but over an arbitrary subset of a trace's
+        rows.  The stacked Algorithm 2 engine uses this to evaluate each
+        parity profile only at the rows the peak trace actually takes
+        from it, halving the energy-kernel work.
+        """
+        n_rows = len(cur_rows)
+        totals = np.zeros(n_rows)
+        module_names = list(self.module_masks) if per_module else []
+        module_fj = {name: np.zeros(n_rows) for name in module_names}
+        chunk = self.TRACE_CHUNK_ROWS
+        for start in range(0, n_rows, chunk):
+            stop = min(start + chunk, n_rows)
+            chunk_totals, chunk_modules = self._transition_chunk(
+                prev_rows[start:stop], cur_rows[start:stop], module_names
+            )
+            totals[start:stop] = chunk_totals
+            for name in module_names:
+                module_fj[name][start:stop] = chunk_modules[name]
+        return self._assemble_power(totals, module_fj, mem_accesses, per_module)
 
 
 def design_tool_rating(

@@ -37,7 +37,7 @@ from repro.sim.machine import (
     sample_memory_control,
     serve_memory_read,
 )
-from repro.sim.trace import CycleRecord
+from repro.sim.trace import CycleRecord, Trace
 
 
 class Lane:
@@ -60,7 +60,7 @@ class Lane:
 
     def __init__(self, row: int, snapshot: dict[str, Any], forces: dict[int, int]):
         self.row = row
-        self.memory = snapshot["memory"].copy()
+        self.memory = snapshot["memory"].fork()
         self.cycle = snapshot["cycle"]
         self.dout_value = snapshot["dout_value"]
         self.dout_xmask = snapshot["dout_xmask"]
@@ -152,10 +152,15 @@ class BatchMachine:
         return LaneView(self, lane)
 
     def snapshot(self, lane: Lane) -> dict[str, Any]:
-        """A :class:`Machine`-compatible snapshot of one lane."""
+        """A :class:`Machine`-compatible snapshot of one lane.
+
+        ``values``/``prev_active`` live in matrix rows that the next step
+        mutates in place, so they are copied; ``memory`` is a
+        copy-on-write :meth:`~repro.sim.memory.TernaryMemory.fork`.
+        """
         return {
             "values": self.values[lane.row].copy(),
-            "memory": lane.memory.copy(),
+            "memory": lane.memory.fork(),
             "cycle": lane.cycle,
             "dout_value": lane.dout_value,
             "dout_xmask": lane.dout_xmask,
@@ -174,37 +179,54 @@ class BatchMachine:
         Returns one record per lane, parallel to :attr:`lanes`; records
         match what a scalar :class:`Machine` stepping the same lane state
         would produce, field for field.
+
+        With a single live lane the evaluator is driven with 1-D row
+        *views* instead of a ``(1, n_nets)`` matrix: the dimension-agnostic
+        evaluator produces identical values either way, but 1-D fancy
+        indexing skips the 2-D dispatch overhead, so a single-path stretch
+        costs the same as the scalar engine.
         """
         n_live = len(self.lanes)
         evaluator = self.evaluator
-        values = self.values[:n_live]
-        prev_active = self._prev_active[:n_live]
+        squeeze = n_live == 1
+        values = self.values[0] if squeeze else self.values[:n_live]
+        prev_active = (
+            self._prev_active[0] if squeeze else self._prev_active[:n_live]
+        )
         prev_values = values.copy()
         next_dff = evaluator.next_dff_values(values, reset=False)
         mem_counts: list[tuple[float, float]] = []
         for lane in self.lanes:
             if lane.next_dff_forces:
                 for net, value in lane.next_dff_forces.items():
-                    next_dff[lane.row, self._dff_pos[net]] = value
+                    if squeeze:
+                        next_dff[self._dff_pos[net]] = value
+                    else:
+                        next_dff[lane.row, self._dff_pos[net]] = value
                 lane.next_dff_forces = {}
             mem_counts.append(serve_memory_read(lane))
-        values[:, evaluator.dff_out] = next_dff
+        values[..., evaluator.dff_out] = next_dff
         for lane in self.lanes:
-            row = values[lane.row]
+            row = values if squeeze else values[lane.row]
             force_bus(row, self.ports.dout, lane.dout_value, lane.dout_xmask)
             for net, value in lane.forced_inputs.items():
                 row[net] = value
         evaluator.eval_comb(values)
         active = evaluator.compute_activity(prev_values, values, prev_active)
-        self._prev_active[:n_live] = active
+        if squeeze:
+            self._prev_active[0] = active
+        else:
+            self._prev_active[:n_live] = active
         records: list[CycleRecord] = []
         for lane, (mem_reads, mem_writes) in zip(self.lanes, mem_counts):
-            sample_memory_control(lane, values[lane.row], self.ports)
+            row_values = values if squeeze else values[lane.row]
+            row_active = active if squeeze else active[lane.row]
+            sample_memory_control(lane, row_values, self.ports)
             records.append(
                 CycleRecord(
                     cycle=lane.cycle,
-                    values=values[lane.row].copy(),
-                    active=active[lane.row].copy(),
+                    values=row_values.copy(),
+                    active=row_active.copy(),
                     mem_reads=mem_reads,
                     mem_writes=mem_writes,
                     annotations=(
@@ -216,3 +238,78 @@ class BatchMachine:
             )
             lane.cycle += 1
         return records
+
+
+# ----------------------------------------------------------------------
+# Batched concrete execution: N independent programs to halt in lock-step.
+# ----------------------------------------------------------------------
+def run_batch_to_halt(
+    cpu,
+    machines: list,
+    batch_size: int,
+    max_cycles: int = 100_000,
+) -> list[tuple[Trace, int]]:
+    """Run concrete *machines* to the halt idiom, ``batch_size`` at a time.
+
+    The workhorse behind the batched input-profiling and GA-stressmark
+    baselines: each machine (already reset, e.g. fresh from
+    ``cpu.make_machine``) becomes a lane; lanes retire as they halt and are
+    refilled from the remaining machines, so the batch stays full.
+
+    Returns one ``(trace, cycles)`` pair per machine, in input order, with
+    exactly the records and cycle count that ``cpu.run_to_halt(machine,
+    max_cycles, trace)`` produces for the same machine — the lock-step
+    engine is record-for-record identical to the scalar one.
+
+    Raises :class:`repro.cpu.UnresolvedPCError` when any machine's PC goes
+    X (missing ``Program.with_inputs``) and :class:`RuntimeError` when a
+    machine fails to halt within *max_cycles* of its own cycles.
+    """
+    from repro.cpu import UnresolvedPCError  # sim must not import cpu at top level
+
+    if not machines:
+        return []
+    template = machines[0]
+    batch = BatchMachine(
+        template.netlist,
+        template.ports,
+        template.evaluator,
+        max(1, min(batch_size, len(machines))),
+        annotator=template.annotator,
+    )
+    traces = [Trace(template.netlist.n_nets) for _ in machines]
+    cycles: list[int] = [0] * len(machines)
+    budget: dict[int, int] = {}  # id(lane) -> remaining step budget
+    lane_index: dict[int, int] = {}
+    queue = list(enumerate(machines))[::-1]  # pop() order = input order
+
+    def refill() -> None:
+        while queue and batch.n_free:
+            index, machine = queue.pop()
+            lane = batch.load(machine.snapshot(), {})
+            lane_index[id(lane)] = index
+            budget[id(lane)] = max_cycles
+
+    refill()
+    while batch.lanes:
+        records = batch.step()
+        for lane, record in zip(list(batch.lanes), records):
+            index = lane_index[id(lane)]
+            traces[index].append(record)
+            budget[id(lane)] -= 1
+            view = batch.lane_view(lane)
+            if cpu.halted(view):
+                cycles[index] = lane.cycle
+            elif cpu.pc_next_unknown(view):
+                raise UnresolvedPCError(
+                    "concrete run reached an unknown PC; did you forget "
+                    "Program.with_inputs()?"
+                )
+            elif budget[id(lane)] <= 0:
+                raise RuntimeError(f"no halt within {max_cycles} cycles")
+            else:
+                continue
+            batch.retire(lane)
+            del lane_index[id(lane)], budget[id(lane)]
+        refill()
+    return [(trace, n) for trace, n in zip(traces, cycles)]

@@ -169,6 +169,10 @@ class Machine:
         self._dff_pos = {
             int(net): pos for pos, net in enumerate(self.evaluator.dff_out)
         }
+        #: Copy-on-write marker: True while ``self.values`` may be shared
+        #: with a snapshot (or a trace record); :meth:`step` materializes a
+        #: private copy before mutating.
+        self._values_shared = False
         self.annotator = None
         #: Extra annotations callback: machine -> dict, set by the CPU layer.
 
@@ -176,26 +180,39 @@ class Machine:
     # State management (forking + memoization)
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
+        """A restorable state capture, copy-on-write where possible.
+
+        ``values`` is shared with the machine until the next :meth:`step`
+        (which materializes before mutating); ``memory`` is a
+        :meth:`~repro.sim.memory.TernaryMemory.fork`; ``prev_active`` is
+        only ever reassigned, never mutated in place, so the reference is
+        shared outright.  Snapshots are therefore O(registers) per cycle
+        instead of O(memory), which is what makes the per-cycle snapshot
+        of the execution explorers affordable.
+        """
+        self._values_shared = True
         return {
-            "values": self.values.copy(),
-            "memory": self.memory.copy(),
+            "values": self.values,
+            "memory": self.memory.fork(),
             "cycle": self.cycle,
             "dout_value": self.dout_value,
             "dout_xmask": self.dout_xmask,
             "request": _MemRequest(**vars(self._request)),
-            "prev_active": self._prev_active.copy(),
+            "prev_active": self._prev_active,
             "forced_inputs": dict(self.forced_inputs),
             "next_dff_forces": dict(self.next_dff_forces),
         }
 
     def restore(self, snap: dict[str, Any]) -> None:
-        self.values = snap["values"].copy()
-        self.memory = snap["memory"].copy()
+        """Adopt *snap* without invalidating it (copy-on-write adoption)."""
+        self.values = snap["values"]
+        self._values_shared = True
+        self.memory = snap["memory"].fork()
         self.cycle = snap["cycle"]
         self.dout_value = snap["dout_value"]
         self.dout_xmask = snap["dout_xmask"]
         self._request = _MemRequest(**vars(snap["request"]))
-        self._prev_active = snap["prev_active"].copy()
+        self._prev_active = snap["prev_active"]
         self.forced_inputs = dict(snap["forced_inputs"])
         self.next_dff_forces = dict(snap["next_dff_forces"])
 
@@ -259,7 +276,14 @@ class Machine:
 
     def step(self, reset: bool = False, trace: Trace | None = None) -> CycleRecord:
         """Advance one clock cycle and optionally record it into *trace*."""
-        prev_values = self.values.copy()
+        if self._values_shared:
+            # A snapshot or trace record holds self.values: hand it the old
+            # array and mutate a private copy (one copy per cycle total).
+            prev_values = self.values
+            self.values = prev_values.copy()
+            self._values_shared = False
+        else:
+            prev_values = self.values.copy()
         next_dff = self.evaluator.next_dff_values(self.values, reset)
         if self.next_dff_forces:
             for net, value in self.next_dff_forces.items():
@@ -275,12 +299,13 @@ class Machine:
         self._sample_memory_control()
         record = CycleRecord(
             cycle=self.cycle,
-            values=self.values.copy(),
+            values=self.values,  # CoW: next step materializes before mutating
             active=active,
             mem_reads=mem_reads,
             mem_writes=mem_writes,
             annotations=self.annotator(self) if self.annotator else {},
         )
+        self._values_shared = True
         self._prev_active = active
         self.cycle += 1
         if trace is not None:

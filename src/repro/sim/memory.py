@@ -1,4 +1,4 @@
-"""X-aware behavioral memory.
+"""X-aware behavioral memory with copy-on-write snapshots.
 
 The paper keeps program/data memory behavioral (the SRAM macro is not part
 of the gate-level power model) but fully participates in X propagation:
@@ -8,6 +8,14 @@ merge old and new contents.
 
 Words are 16-bit, addressed by *word* address.  Each word carries an
 ``xmask``: bit i set means bit i of the word is unknown.
+
+Snapshots are **copy-on-write**: :meth:`TernaryMemory.fork` shares the
+``words``/``xmask`` arrays between parent and child and marks both dirty;
+the first write on either side materializes a private copy.  The execution
+explorers snapshot the machine every cycle but write memory only on store
+cycles, so forking makes the per-cycle snapshot O(1) instead of O(memory).
+The state digest used for path memoization is cached on the same dirty
+flag, so repeated forks of an unchanged memory hash it once.
 """
 
 from __future__ import annotations
@@ -35,26 +43,55 @@ class TernaryMemory:
         self.n_words = n_words
         self.words = np.zeros(n_words, dtype=np.uint16)
         self.xmask = np.full(n_words, MASK16, dtype=np.uint16)
+        #: copy-on-write: True while ``words``/``xmask`` may be shared with
+        #: another TernaryMemory produced by :meth:`fork`.
+        self._shared = False
+        #: memoized :meth:`digest`, invalidated by any write.
+        self._digest: bytes | None = None
 
-    def copy(self) -> "TernaryMemory":
+    def fork(self) -> "TernaryMemory":
+        """A copy-on-write clone, observationally a deep copy.
+
+        Parent and clone share the backing arrays until either side
+        writes; the writer then materializes a private copy, leaving the
+        other side untouched.  Forking is O(1).
+        """
         clone = TernaryMemory.__new__(TernaryMemory)
         clone.n_words = self.n_words
-        clone.words = self.words.copy()
-        clone.xmask = self.xmask.copy()
+        clone.words = self.words
+        clone.xmask = self.xmask
+        clone._shared = True
+        clone._digest = self._digest
+        self._shared = True
         return clone
+
+    def copy(self) -> "TernaryMemory":
+        """Alias of :meth:`fork` — an observational deep copy."""
+        return self.fork()
+
+    def _own(self) -> None:
+        """Write barrier: materialize shared arrays, drop the digest."""
+        if self._shared:
+            self.words = self.words.copy()
+            self.xmask = self.xmask.copy()
+            self._shared = False
+        self._digest = None
 
     def digest(self) -> bytes:
         """Stable fingerprint used for execution-tree state memoization."""
-        h = hashlib.blake2b(digest_size=16)
-        h.update(self.words.tobytes())
-        h.update(self.xmask.tobytes())
-        return h.digest()
+        if self._digest is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(self.words.tobytes())
+            h.update(self.xmask.tobytes())
+            self._digest = h.digest()
+        return self._digest
 
     # ------------------------------------------------------------------
     # Known-address accesses
     # ------------------------------------------------------------------
     def load_word(self, word_addr: int, value: int, xmask: int = 0) -> None:
         """Initialize one word (used by the binary loader and input specs)."""
+        self._own()
         self.words[word_addr] = value & MASK16
         self.xmask[word_addr] = xmask & MASK16
 
@@ -70,6 +107,7 @@ class TernaryMemory:
                 "store to unknown (X) address; constrain the pointer or use "
                 "an input-independent address"
             )
+        self._own()
         self.words[word_addr] = value & MASK16 & ~xmask
         self.xmask[word_addr] = xmask & MASK16
 
@@ -82,6 +120,7 @@ class TernaryMemory:
             raise MemoryXAddressError(
                 "conditional store to unknown (X) address cannot be bounded"
             )
+        self._own()
         old_value = int(self.words[word_addr])
         old_x = int(self.xmask[word_addr])
         new_value = value & MASK16

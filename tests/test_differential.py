@@ -113,6 +113,54 @@ class TestBatchedEqualsScalar:
         )
 
 
+class TestStackedPeakPowerEqualsScalar:
+    """Vectorized Algorithm 2 ≡ the retained per-segment reference.
+
+    Bit-identical means bit-identical: the engines share one einsum-based
+    transition kernel whose row results are independent of chunking and
+    row subsetting, so even the float outputs must match exactly.
+    """
+
+    @pytest.fixture(scope="class")
+    def peak_pair(self, engines, model):
+        name, _scalar, batched = engines
+        scalar_peak = compute_peak_power(batched, model, engine="scalar")
+        stacked_peak = compute_peak_power(batched, model, engine="stacked")
+        return name, batched, scalar_peak, stacked_peak
+
+    def test_peak_trace_bit_identical(self, peak_pair):
+        _name, _tree, scalar_peak, stacked_peak = peak_pair
+        assert np.array_equal(scalar_peak.trace_mw, stacked_peak.trace_mw)
+        assert scalar_peak.peak_cycle == stacked_peak.peak_cycle
+        assert scalar_peak.peak_power_mw == stacked_peak.peak_power_mw
+
+    def test_even_odd_profiles_bit_identical(self, peak_pair):
+        _name, _tree, scalar_peak, stacked_peak = peak_pair
+        assert np.array_equal(
+            scalar_peak.even_values, stacked_peak.even_values
+        )
+        assert np.array_equal(scalar_peak.odd_values, stacked_peak.odd_values)
+
+    def test_module_breakdown_bit_identical(self, peak_pair):
+        _name, _tree, scalar_peak, stacked_peak = peak_pair
+        assert set(scalar_peak.module_mw) == set(stacked_peak.module_mw)
+        for name, series in scalar_peak.module_mw.items():
+            assert np.array_equal(series, stacked_peak.module_mw[name]), name
+
+    def test_segment_energies_bit_identical(self, peak_pair):
+        name, tree, scalar_peak, stacked_peak = peak_pair
+        assert np.array_equal(
+            scalar_peak.segment_energy_pj, stacked_peak.segment_energy_pj
+        )
+        benchmark = get_benchmark(name)
+        energies = [
+            compute_peak_energy(tree, peak, loop_bound=benchmark.loop_bound)
+            for peak in (scalar_peak, stacked_peak)
+        ]
+        assert energies[0].peak_energy_pj == energies[1].peak_energy_pj
+        assert energies[0].path_segments == energies[1].path_segments
+
+
 class TestGoldenCoverage:
     def test_all_benchmarks_pinned(self):
         assert set(GOLDEN) == set(ALL_BENCHMARKS)
