@@ -1,17 +1,22 @@
-"""Perf-trajectory harness: per-phase scalar vs batched wall-clock.
+"""Perf-trajectory harness: per-phase, per-engine wall-clock.
 
 ``python -m repro.bench`` (or ``python -m repro bench``) times every phase
 of the analyze pipeline — Algorithm 1 exploration, Algorithm 2 peak power,
-§3.3 peak energy, and the input-profiling baseline — with the scalar
-reference and the batched/vectorized engines on the same benchmarks,
-always cold (no disk cache involved), and writes a ``BENCH_suite.json``
-artifact (schema 2) with per-phase wall-clock so future PRs can attribute
-speedups and catch regressions of each hot path separately.  The GA
-stressmark baseline is program-independent and timed once per report.
+§3.3 peak energy, and the input-profiling baseline — on the same
+benchmarks, always cold (no disk cache involved), and writes a
+``BENCH_suite.json`` artifact (schema 2) with per-phase wall-clock so
+future PRs can attribute speedups and catch regressions of each hot path
+separately.  The GA stressmark baseline is program-independent and timed
+once per report.
 
-Every comparison also cross-checks the engines against each other (tree
-shape, bit-identical peak traces, identical profiling measurements), so a
-bench run doubles as a coarse differential test.
+The explore phase is timed under **three** engines: the scalar uint8
+reference (one path at a time), the batched uint8 reference (the PR 2
+baseline engine), and the batched bit-plane engine (the default) —
+``bitplane_speedup`` is therefore the bit-plane gain over the PR 2
+baseline at equal results.  Every comparison also cross-checks the
+engines against each other (tree shape, bit-identical value/activity
+matrices, bit-identical peak traces, identical profiling measurements),
+so a bench run doubles as a coarse differential test.
 """
 
 from __future__ import annotations
@@ -83,29 +88,55 @@ def run_perf_suite(
         benchmark = get_benchmark(name)
         program = benchmark.program()
 
-        def run_explore(engine_batch: int):
+        def run_explore(engine_batch: int | None, engine: str):
             return explore(
                 cpu,
                 program,
                 max_cycles=benchmark.max_cycles,
                 max_segments=benchmark.max_segments,
                 batch_size=engine_batch,
+                engine=engine,
             )
 
-        explore_scalar_s, scalar_tree = _best(lambda: run_explore(1), repeats)
+        def trace_digest(some_tree) -> bytes:
+            """Bit-exact fingerprint of a tree's value/activity matrices —
+            lets the ~40 MB reference tree be freed before the next timed
+            run while keeping the cross-check exact."""
+            import hashlib
+
+            h = hashlib.blake2b(digest_size=16)
+            h.update(some_tree.flat_trace.values_matrix().tobytes())
+            h.update(some_tree.flat_trace.active_matrix().tobytes())
+            return h.digest()
+
+        explore_scalar_s, scalar_tree = _best(
+            lambda: run_explore(1, "reference"), repeats
+        )
         scalar_shape = (scalar_tree.n_cycles, len(scalar_tree.segments))
-        # Drop the reference tree before timing anything else: the real
+        reference_digest = trace_digest(scalar_tree)
+        # Drop each reference tree before the next timed run: the real
         # pipeline has one tree alive, and ~40 MB of stale record arrays
         # measurably slows the streaming phases on small-cache hosts.
         del scalar_tree
-        explore_batched_s, tree = _best(
-            lambda: run_explore(batch_size), repeats
+        explore_batched_s, reference_tree = _best(
+            lambda: run_explore(batch_size, "reference"), repeats
+        )
+        if trace_digest(reference_tree) != reference_digest:
+            raise AssertionError(f"{name}: batched reference trace drifted")
+        del reference_tree
+        explore_bitplane_s, tree = _best(
+            lambda: run_explore(None, "bitplane"), repeats
         )
         if (tree.n_cycles, len(tree.segments)) != scalar_shape:
             raise AssertionError(
                 f"{name}: explore engines disagree "
                 f"({scalar_shape} vs {(tree.n_cycles, len(tree.segments))})"
             )
+        if trace_digest(tree) != reference_digest:
+            raise AssertionError(
+                f"{name}: bitplane and reference traces disagree"
+            )
+        activity_stats = model.activity_profile(tree.flat_trace)
 
         power_scalar_s, power_scalar = _best(
             lambda: compute_peak_power(tree, model, engine="scalar"), repeats
@@ -144,7 +175,8 @@ def run_perf_suite(
             raise AssertionError(f"{name}: profiling engines disagree")
 
         total_s = (
-            explore_batched_s + power_stacked_s + energy_s + profiling_batched_s
+            explore_bitplane_s + power_stacked_s + energy_s
+            + profiling_batched_s
         )
         rows.append(
             {
@@ -152,14 +184,24 @@ def run_perf_suite(
                 "n_segments": len(tree.segments),
                 "n_cycles": tree.n_cycles,
                 "explore": {
+                    # schema-2 fields keep their PR 2 semantics (speedup =
+                    # scalar/batched reference); bitplane_* are additive
                     **_phase(explore_scalar_s, explore_batched_s, "batched_s"),
+                    "bitplane_s": round(explore_bitplane_s, 3),
+                    "bitplane_speedup": round(
+                        explore_batched_s / explore_bitplane_s, 2
+                    ) if explore_bitplane_s else 0.0,  # vs the PR 2 baseline
                     "scalar_cycles_per_s": round(
                         tree.n_cycles / explore_scalar_s, 1
                     ),
                     "batched_cycles_per_s": round(
                         tree.n_cycles / explore_batched_s, 1
                     ),
+                    "bitplane_cycles_per_s": round(
+                        tree.n_cycles / explore_bitplane_s, 1
+                    ),
                 },
+                "activity": activity_stats,
                 "peakpower": _phase(
                     power_scalar_s, power_stacked_s, "stacked_s"
                 ),
@@ -189,9 +231,18 @@ def run_perf_suite(
         or stressmark_scalar.avg_power_mw != stressmark_batched.avg_power_mw
     ):
         raise AssertionError("stressmark: GA engines disagree")
+    from repro.sim.bitplane import default_engine
+
     return {
         "schema": 2,
-        "engine": {"batch_size": batch_size, "repeats": repeats},
+        "engine": {
+            "batch_size": batch_size,
+            # the engine the non-explore phases actually ran under (the
+            # explore phase always times all three engine configurations)
+            "sim_engine": default_engine(),
+            "bitplane_batch_size": default_batch_size("bitplane"),
+            "repeats": repeats,
+        },
         "host": {
             "python": platform.python_version(),
             "machine": platform.machine(),

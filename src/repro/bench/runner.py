@@ -242,26 +242,31 @@ def all_names() -> list[str]:
 # ----------------------------------------------------------------------
 # Process-parallel suite runner
 # ----------------------------------------------------------------------
-_KNOB_VARS = ("REPRO_NO_CACHE", "REPRO_BATCH_SIZE")
+_KNOB_VARS = ("REPRO_NO_CACHE", "REPRO_BATCH_SIZE", "REPRO_ENGINE")
 
 
-def _apply_knobs(batch_size: int | None, no_cache: bool) -> None:
+def _apply_knobs(
+    batch_size: int | None, no_cache: bool, engine: str | None = None
+) -> None:
     """Export explicitly requested knobs; leave inherited ones alone."""
     if no_cache:
         os.environ["REPRO_NO_CACHE"] = "1"
     if batch_size is not None:
         os.environ["REPRO_BATCH_SIZE"] = str(batch_size)
+    if engine is not None:
+        os.environ["REPRO_ENGINE"] = engine
 
 
 def _suite_worker(
-    name: str, batch_size: int | None, no_cache: bool
+    name: str, batch_size: int | None, no_cache: bool,
+    engine: str | None = None,
 ) -> BenchmarkResults:
     """Compute one benchmark's X-based results in a worker process.
 
     Explicit knobs override the (fork- or spawn-) inherited environment;
     unset knobs fall through to whatever the caller exported.
     """
-    _apply_knobs(batch_size, no_cache)
+    _apply_knobs(batch_size, no_cache, engine)
     return x_based(name)
 
 
@@ -270,6 +275,7 @@ def run_suite(
     jobs: int | None = None,
     batch_size: int | None = None,
     no_cache: bool = False,
+    engine: str | None = None,
 ) -> list[BenchmarkResults]:
     """X-based analysis of *names* (default: all 14), fanned out over
     ``jobs`` worker processes.
@@ -289,7 +295,7 @@ def run_suite(
     if jobs <= 1 or len(unique) <= 1:
         saved = {var: os.environ.get(var) for var in _KNOB_VARS}
         try:
-            _apply_knobs(batch_size, no_cache)
+            _apply_knobs(batch_size, no_cache, engine)
             by_name = {
                 name: x_based(name) for name in unique
             }
@@ -302,7 +308,9 @@ def run_suite(
     else:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
-                name: pool.submit(_suite_worker, name, batch_size, no_cache)
+                name: pool.submit(
+                    _suite_worker, name, batch_size, no_cache, engine
+                )
                 for name in unique
             }
             by_name = {name: future.result() for name, future in futures.items()}

@@ -42,8 +42,11 @@ class Benchmark:
         """Keyword arguments for :func:`repro.core.api.analyze`.
 
         Bundles this kernel's exploration budgets (and optionally the
-        engine's *batch_size*) so the runner, the CLI, and the perf
-        harness all analyze a benchmark identically.
+        *batch_size* scheduling knob) so the runner, the CLI, and the
+        perf harness all analyze a benchmark identically.  The simulation
+        engine is selected by ``REPRO_ENGINE`` (see
+        :func:`repro.sim.bitplane.default_engine`), which the CLI and the
+        suite runner export.
         """
         kwargs = {
             "loop_bound": self.loop_bound,

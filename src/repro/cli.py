@@ -17,10 +17,14 @@ Table 4.1 benchmarks end to end (process-parallel, disk-cached);
 ``bench`` times the scalar vs batched engines and writes a perf-trajectory
 JSON artifact.
 
-Engine knobs shared by the analysis commands: ``--batch-size N`` settles N
-execution paths in lock-step (1 = the scalar reference engine; default 8,
-also settable via ``REPRO_BATCH_SIZE``).  ``suite --no-cache`` (or
-``REPRO_NO_CACHE=1``) bypasses the versioned disk cache.
+Engine knobs shared by the analysis commands: ``--engine bitplane``
+(default) simulates on packed dual-rail uint64 bit planes, ``--engine
+reference`` on the original uint8 evaluator — bit-identical results either
+way (also settable via ``REPRO_ENGINE``).  ``--batch-size N`` settles N
+execution paths in lock-step (1 = one path at a time; default 32 for the
+bitplane engine, 8 for the reference engine, or ``REPRO_BATCH_SIZE``).
+``suite --no-cache`` (or ``REPRO_NO_CACHE=1``) bypasses the versioned
+disk cache.
 """
 
 from __future__ import annotations
@@ -50,13 +54,20 @@ def _make_context():
     return cpu, model
 
 
+def _apply_engine(args: argparse.Namespace) -> None:
+    """Export --engine so every machine built downstream honors it."""
+    if getattr(args, "engine", None):
+        os.environ["REPRO_ENGINE"] = args.engine
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
+    _apply_engine(args)
     cpu, model = _make_context()
     program = _load_program(args.program)
     report = analyze(
         cpu, program, model,
         loop_bound=args.loop_bound, vcd_dir=args.vcd_dir,
-        batch_size=args.batch_size,
+        batch_size=args.batch_size, engine=args.engine,
     )
     print(report.summary())
     print(f"peak power : {report.peak_power_mw:.3f} mW (all inputs)")
@@ -67,6 +78,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
+    _apply_engine(args)
     cpu, model = _make_context()
     program = _load_program(args.program)
     input_sets = [
@@ -85,11 +97,13 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_coi(args: argparse.Namespace) -> int:
+    _apply_engine(args)
     cpu, model = _make_context()
     program = _load_program(args.program)
     report = analyze(
         cpu, program, model,
         loop_bound=args.loop_bound, batch_size=args.batch_size,
+        engine=args.engine,
     )
     reports = cycles_of_interest(
         report.tree, report.peak_power, program, count=args.count
@@ -103,6 +117,7 @@ def cmd_coi(args: argparse.Namespace) -> int:
 def cmd_suite(args: argparse.Namespace) -> int:
     from repro.bench import runner
 
+    _apply_engine(args)
     if args.no_cache:
         os.environ["REPRO_NO_CACHE"] = "1"
     names = args.benchmarks.split(",") if args.benchmarks else runner.all_names()
@@ -111,6 +126,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         batch_size=args.batch_size,
         no_cache=args.no_cache,
+        engine=args.engine,
     )
     for result in results:
         print(f"{result.name:>10}: peak {result.peak_power_mw:.3f} mW, "
@@ -122,16 +138,19 @@ def cmd_suite(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.perf import run_perf_suite, write_report
 
+    _apply_engine(args)
+
     names = args.benchmarks.split(",") if args.benchmarks else None
     report = run_perf_suite(
         names, batch_size=args.batch_size, repeats=args.repeats
     )
     write_report(report, args.output)
     for row in report["benchmarks"]:
+        ex = row["explore"]
         print(f"{row['name']:>10}: "
-              f"explore {row['explore']['speedup']:.2f}x "
-              f"({row['explore']['scalar_s']:.2f}s -> "
-              f"{row['explore']['batched_s']:.2f}s), "
+              f"explore bitplane {ex['bitplane_speedup']:.2f}x vs batched "
+              f"ref ({ex['batched_s']:.2f}s -> {ex['bitplane_s']:.2f}s; "
+              f"scalar ref {ex['scalar_s']:.2f}s), "
               f"peakpower {row['peakpower']['speedup']:.2f}x "
               f"({row['peakpower']['scalar_s']:.2f}s -> "
               f"{row['peakpower']['stacked_s']:.2f}s), "
@@ -155,8 +174,15 @@ def build_parser() -> argparse.ArgumentParser:
     def add_batch_size(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument(
             "--batch-size", type=int, default=None, metavar="N",
-            help="settle N execution paths in lock-step "
-                 "(1 = scalar engine; default 8 or $REPRO_BATCH_SIZE)",
+            help="settle N execution paths in lock-step (1 = one path at "
+                 "a time; default 32 bitplane / 8 reference, or "
+                 "$REPRO_BATCH_SIZE)",
+        )
+        sub_parser.add_argument(
+            "--engine", choices=("bitplane", "reference"), default=None,
+            help="simulation representation: packed dual-rail bit planes "
+                 "(default) or the uint8 reference evaluator; results are "
+                 "bit-identical (also $REPRO_ENGINE)",
         )
 
     p_analyze = sub.add_parser("analyze", help="X-based analysis of a program")

@@ -45,10 +45,19 @@ from repro.sim.trace import CycleRecord, Trace
 #: the ``REPRO_BATCH_SIZE`` environment variable (1 = scalar engine).
 DEFAULT_BATCH_SIZE = 8
 
+#: wider default for the bitplane engine: its per-cycle cost is dominated
+#: by fixed numpy dispatch overhead that amortizes across live lanes, so
+#: deep pending-path queues benefit from more lanes at negligible memory
+#: cost (a lane is ~7 KB of packed planes).
+BITPLANE_DEFAULT_BATCH_SIZE = 32
 
-def default_batch_size() -> int:
+
+def default_batch_size(engine: str | None = None) -> int:
+    """Batch width for *engine* (resolved) honoring ``REPRO_BATCH_SIZE``."""
     raw = os.environ.get("REPRO_BATCH_SIZE")
     if not raw:
+        if engine == "bitplane":
+            return BITPLANE_DEFAULT_BATCH_SIZE
         return DEFAULT_BATCH_SIZE
     try:
         return max(1, int(raw))
@@ -140,14 +149,19 @@ class _Pending:
     memo_key: bytes
 
 
-def _memo_key(dff_out, snapshot: dict, forces: dict[int, int]) -> bytes:
-    """Key = architectural state at the branch + the flag concretization."""
+def _memo_key(evaluator, snapshot: dict, forces: dict[int, int]) -> bytes:
+    """Key = architectural state at the branch + the flag concretization.
+
+    *evaluator* (either engine) tells the fingerprint how to read the
+    snapshot's state array; the induced equivalence relation — and hence
+    the execution tree — is representation-independent.
+    """
     import hashlib
 
     from repro.sim.machine import Machine
 
     h = hashlib.blake2b(digest_size=16)
-    h.update(Machine.snapshot_state_key(snapshot, dff_out))
+    h.update(Machine.snapshot_state_key(snapshot, evaluator))
     for net in sorted(forces):
         h.update(net.to_bytes(4, "little"))
         h.update(forces[net].to_bytes(1, "little"))
@@ -164,13 +178,17 @@ def explore(
     max_segments: int = 4_096,
     max_cycles_per_path: int = 50_000,
     batch_size: int | None = None,
+    engine: str | None = None,
 ) -> ExecutionTree:
     """Run Algorithm 1 for *program* on the gate-level *cpu*.
 
-    *batch_size* selects the engine: ``1`` runs the scalar reference,
-    anything larger settles that many pending paths in lock-step, and
-    ``None`` (the default) uses :func:`default_batch_size`.  Both engines
-    return identical trees.
+    *batch_size* selects the scheduling: ``1`` runs one pending path at a
+    time, anything larger settles that many paths in lock-step, and
+    ``None`` (the default) uses :func:`default_batch_size`.  *engine*
+    selects the simulation representation: ``"bitplane"`` (packed dual
+    rail, the default) or ``"reference"`` (the uint8 oracle); ``None``
+    honors ``REPRO_ENGINE``.  Every combination returns the identical
+    tree, bit for bit.
 
     Returns the annotated execution tree.  Raises
     :class:`PathExplosionError` when the exploration budget is exceeded and
@@ -178,13 +196,16 @@ def explore(
     forkable conditional branch.
     """
     if batch_size is None:
-        batch_size = default_batch_size()
+        from repro.sim.bitplane import default_engine
+
+        batch_size = default_batch_size(engine or default_engine())
     if batch_size <= 1:
         return _explore_scalar(
-            cpu, program, max_cycles, max_segments, max_cycles_per_path
+            cpu, program, max_cycles, max_segments, max_cycles_per_path, engine
         )
     return _explore_batched(
-        cpu, program, max_cycles, max_segments, max_cycles_per_path, batch_size
+        cpu, program, max_cycles, max_segments, max_cycles_per_path,
+        batch_size, engine,
     )
 
 
@@ -197,8 +218,9 @@ def _explore_scalar(
     max_cycles: int,
     max_segments: int,
     max_cycles_per_path: int,
+    engine: str | None = None,
 ) -> ExecutionTree:
-    machine = cpu.make_machine(program, symbolic_inputs=True)
+    machine = cpu.make_machine(program, symbolic_inputs=True, engine=engine)
     flat = Trace(machine.netlist.n_nets)
     segments: list[Segment] = []
     total_cycles = 0
@@ -256,7 +278,7 @@ def _explore_scalar(
                 segment.end = "fork"
                 for assignment in assignments:
                     key = _memo_key(
-                        machine.evaluator.dff_out, snap_before, assignment
+                        machine.evaluator, snap_before, assignment
                     )
                     fork_no = len(segment.forks)
                     if key in seen:
@@ -311,8 +333,9 @@ def _explore_batched(
     max_segments: int,
     max_cycles_per_path: int,
     batch_size: int,
+    engine: str | None = None,
 ) -> ExecutionTree:
-    machine = cpu.make_machine(program, symbolic_inputs=True)
+    machine = cpu.make_machine(program, symbolic_inputs=True, engine=engine)
     batch = BatchMachine(
         machine.netlist,
         machine.ports,
@@ -320,7 +343,7 @@ def _explore_batched(
         batch_size,
         annotator=machine.annotator,
     )
-    dff_out = machine.evaluator.dff_out
+    evaluator = machine.evaluator
 
     root = _Pending(
         snapshot=machine.snapshot(), forces={}, parent=None, memo_key=_ROOT_KEY
@@ -379,7 +402,7 @@ def _explore_batched(
                 node.end = "fork"
                 snapshot = snap_before[id(lane)]
                 for assignment in assignments:
-                    key = _memo_key(dff_out, snapshot, assignment)
+                    key = _memo_key(evaluator, snapshot, assignment)
                     node.forks.append((assignment, key))
                     if key not in seen:
                         seen.add(key)
@@ -397,10 +420,16 @@ def _explore_batched(
             del lane_node[id(lane)], lane_cycles[id(lane)]
         refill()
 
-    return _assemble_tree(nodes, machine.netlist.n_nets)
+    return _assemble_tree(
+        nodes,
+        machine.netlist.n_nets,
+        packing=getattr(evaluator, "program", None),
+    )
 
 
-def _assemble_tree(nodes: dict[bytes, _Node], n_nets: int) -> ExecutionTree:
+def _assemble_tree(
+    nodes: dict[bytes, _Node], n_nets: int, packing=None
+) -> ExecutionTree:
     """Replay the scalar engine's stack discipline over the segment graph.
 
     Segment content is order-independent (a memo key determines its whole
@@ -410,6 +439,7 @@ def _assemble_tree(nodes: dict[bytes, _Node], n_nets: int) -> ExecutionTree:
     batched tree bit-identical to the scalar one.
     """
     flat = Trace(n_nets)
+    flat.packing = packing
     segments: list[Segment] = []
     index_of: dict[bytes, int] = {}
     patches: list[tuple[int, int, bytes]] = []

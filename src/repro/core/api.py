@@ -58,13 +58,17 @@ def analyze(
     max_segments: int = 4_096,
     vcd_dir=None,
     batch_size: int | None = None,
+    engine: str | None = None,
 ) -> AnalysisReport:
     """Full input-independent peak power and energy analysis.
 
-    *batch_size* selects the exploration engine (see
-    :func:`repro.core.activity.explore`): ``1`` forces the scalar
-    reference, larger values settle that many execution paths in
-    lock-step; the default uses the batched engine.
+    *batch_size* selects the exploration scheduling (see
+    :func:`repro.core.activity.explore`): ``1`` forces one path at a
+    time, larger values settle that many execution paths in lock-step.
+    *engine* selects the simulation representation — ``"bitplane"``
+    (packed dual-rail, the default) or ``"reference"`` (the uint8
+    oracle); ``None`` honors ``REPRO_ENGINE``.  All combinations are
+    bit-identical.
     """
     tree = explore(
         cpu,
@@ -72,6 +76,7 @@ def analyze(
         max_cycles=max_cycles,
         max_segments=max_segments,
         batch_size=batch_size,
+        engine=engine,
     )
     peak_power = compute_peak_power(tree, model, vcd_dir=vcd_dir)
     peak_energy = compute_peak_energy(tree, peak_power, loop_bound=loop_bound)

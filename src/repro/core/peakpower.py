@@ -34,8 +34,9 @@ trace, same per-module breakdowns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -47,18 +48,49 @@ from repro.sim.vcd import write_vcd
 
 @dataclass
 class PeakPowerResult:
-    """The per-cycle peak power trace and its supporting profiles."""
+    """The per-cycle peak power trace and its supporting profiles.
+
+    The even/odd maximized witness profiles — the two full
+    ``(n_cycles, n_nets)`` value assignments the paper hands to the power
+    tool as VCDs — are **lazy**: peak power itself only needs the priced
+    transitions, so the profiles are materialized (and cached) the first
+    time ``even_values``/``odd_values`` is read, typically for a VCD dump
+    or a soundness check.  Plain analysis runs never allocate them.
+    """
 
     peak_power_mw: float
     peak_cycle: int  # index into the flattened trace
     trace_mw: np.ndarray
     module_mw: dict[str, np.ndarray]
-    even_values: np.ndarray
-    odd_values: np.ndarray
     clock_ns: float
     #: per-segment peak-trace energies (pJ), parallel to ``tree.segments``;
     #: peak-energy analysis consumes these instead of re-slicing the trace.
     segment_energy_pj: np.ndarray | None = None
+    #: rebuilds ``(even_values, odd_values)`` on demand
+    witness_builder: Callable[[], tuple[np.ndarray, np.ndarray]] | None = (
+        field(default=None, repr=False, compare=False)
+    )
+    _witness_cache: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False, init=False
+    )
+
+    def witnesses(self) -> tuple[np.ndarray, np.ndarray]:
+        """(even, odd) maximized value profiles, built once on demand."""
+        if self._witness_cache is None:
+            if self.witness_builder is None:
+                raise ValueError(
+                    "this PeakPowerResult carries no witness builder"
+                )
+            self._witness_cache = self.witness_builder()
+        return self._witness_cache
+
+    @property
+    def even_values(self) -> np.ndarray:
+        return self.witnesses()[0]
+
+    @property
+    def odd_values(self) -> np.ndarray:
+        return self.witnesses()[1]
 
     def power_trace(self) -> PowerTrace:
         return PowerTrace(
@@ -170,9 +202,9 @@ def _finish(
     model: PowerModel,
     peak_trace: np.ndarray,
     module_mw: dict[str, np.ndarray],
-    even_full: np.ndarray,
-    odd_full: np.ndarray,
+    witness_builder,
     vcd_dir: str | Path | None,
+    witnesses: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> PeakPowerResult:
     """Shared tail of both engines: segment sums, VCDs, result object."""
     segment_energy = np.zeros(len(tree.segments))
@@ -183,52 +215,55 @@ def _finish(
                 peak_trace[sl].sum() * model.clock_ns
             )
 
-    if vcd_dir is not None:
-        directory = Path(vcd_dir)
-        directory.mkdir(parents=True, exist_ok=True)
-        write_vcd(even_full, directory / "even.vcd", timescale_ns=model.clock_ns)
-        write_vcd(odd_full, directory / "odd.vcd", timescale_ns=model.clock_ns)
-
     n_cycles = peak_trace.shape[0]
     peak_cycle = int(peak_trace.argmax()) if n_cycles else 0
-    return PeakPowerResult(
+    result = PeakPowerResult(
         peak_power_mw=float(peak_trace.max()) if n_cycles else 0.0,
         peak_cycle=peak_cycle,
         trace_mw=peak_trace,
         module_mw=module_mw,
-        even_values=even_full,
-        odd_values=odd_full,
         clock_ns=model.clock_ns,
         segment_energy_pj=segment_energy,
+        witness_builder=witness_builder,
     )
+    if witnesses is not None:
+        # the engine already assembled the profiles as a byproduct —
+        # pre-seed the cache so a VCD request does not recompute them
+        result._witness_cache = witnesses
+
+    if vcd_dir is not None:  # the VCD dump is a witness request
+        directory = Path(vcd_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        write_vcd(
+            result.even_values, directory / "even.vcd",
+            timescale_ns=model.clock_ns,
+        )
+        write_vcd(
+            result.odd_values, directory / "odd.vcd",
+            timescale_ns=model.clock_ns,
+        )
+    return result
 
 
 # ----------------------------------------------------------------------
 # Stacked engine: all segments, one tensor, one power evaluation per parity.
 # ----------------------------------------------------------------------
-def _compute_stacked(
-    tree: ExecutionTree,
-    model: PowerModel,
-    per_module: bool,
-    vcd_dir: str | Path | None,
-) -> PeakPowerResult:
+def _stack_layout(tree: ExecutionTree):
+    """Context-interleaved segment stack shared by pricing and witnesses.
+
+    Lays every non-empty segment out as [context row, cycle rows...]; the
+    context row carries the predecessor values (the parent's last cycle)
+    so the transition into a segment's first cycle is priced correctly.
+    Returns ``(stacked, stacked_active, stacked_mem, data_rows,
+    local_index)`` where *data_rows* maps flat cycles to stack rows and
+    *local_index* is the 1-based row within each segment.
+    """
     flat = tree.flat_trace
-    values = flat.values_matrix() if len(flat) else np.zeros((0, 0), np.uint8)
-    n_cycles = len(flat)
-    module_names = sorted(model.module_masks) if per_module else []
-    if n_cycles == 0:
-        return _finish(
-            tree, model, np.zeros(0),
-            {name: np.zeros(0) for name in module_names},
-            values.copy(), values.copy(), vcd_dir,
-        )
+    values = flat.values_matrix()
     active = flat.active_matrix()
     mem_accesses = flat.mem_accesses()
+    n_cycles = len(flat)
     n_nets = values.shape[1]
-
-    # Lay every non-empty segment out as [context row, cycle rows...]; the
-    # context row carries the predecessor values (the parent's last cycle)
-    # so the transition into a segment's first cycle is priced correctly.
     live = [s for s in tree.segments if s.n_cycles]
     total_rows = n_cycles + len(live)
     stacked = np.empty((total_rows, n_nets), dtype=values.dtype)
@@ -252,16 +287,62 @@ def _compute_stacked(
         data_rows[sl] = np.arange(block.start, block.stop)
         local_index[sl] = np.arange(1, segment.n_cycles + 1)
         row += 1 + segment.n_cycles
+    return stacked, stacked_active, stacked_mem, data_rows, local_index
+
+
+def _stacked_witnesses(
+    tree: ExecutionTree, model: PowerModel
+) -> tuple[np.ndarray, np.ndarray]:
+    """(even, odd) witness profiles, rebuilt from the tree on demand."""
+    stacked, stacked_active, _mem, data_rows, local_index = _stack_layout(tree)
+    odd_local = local_index % 2 == 1
+    profiles: list[np.ndarray] = []
+    for parity_mask in (odd_local, ~odd_local):
+        target_rows = data_rows[parity_mask]
+        new_prv, new_cur = _assign_parity_pairs(
+            stacked, stacked_active, target_rows, model.max_prev, model.max_cur
+        )
+        # Unmodified rows + this parity's assigned pairs, gathered back to
+        # the flat layout.
+        assigned = stacked.copy()
+        assigned[target_rows] = new_cur
+        assigned[target_rows - 1] = new_prv
+        profiles.append(assigned[data_rows])
+    odd_full, even_full = profiles
+    return even_full, odd_full
+
+
+def _compute_stacked(
+    tree: ExecutionTree,
+    model: PowerModel,
+    per_module: bool,
+    vcd_dir: str | Path | None,
+) -> PeakPowerResult:
+    flat = tree.flat_trace
+    n_cycles = len(flat)
+    module_names = sorted(model.module_masks) if per_module else []
+    if n_cycles == 0:
+        empty = np.zeros((0, 0), np.uint8)
+        return _finish(
+            tree, model, np.zeros(0),
+            {name: np.zeros(0) for name in module_names},
+            lambda: (empty.copy(), empty.copy()), vcd_dir,
+        )
+    stacked, stacked_active, stacked_mem, data_rows, local_index = (
+        _stack_layout(tree)
+    )
 
     # One maximization + one power evaluation per parity, whole stack at
     # a time.  Parity 1 targets local rows 1,3,5..., parity 0 rows 2,4,...
     # The peak trace takes cycle c from the profile that targeted c's
     # parity, so each profile is priced only at its own target rows — a
-    # parity-indexed scatter replaces the per-cycle choice loop.
+    # parity-indexed scatter replaces the per-cycle choice loop.  The
+    # full witness profiles are *not* assembled here; the witness builder
+    # recomputes them from the tree if anyone asks.
     odd_local = local_index % 2 == 1
     peak_trace = np.empty(n_cycles)
     module_mw = {name: np.empty(n_cycles) for name in module_names}
-    profiles_flat: list[np.ndarray] = []
+    profiles: list[np.ndarray] = []
     for parity_mask in (odd_local, ~odd_local):
         target_rows = data_rows[parity_mask]
         new_prv, new_cur = _assign_parity_pairs(
@@ -276,22 +357,67 @@ def _compute_stacked(
         peak_trace[parity_mask] = power.total_mw
         for name in module_names:
             module_mw[name][parity_mask] = power.module_mw[name]
-        # The full even/odd witness profile: unmodified rows + this
-        # parity's assigned pairs, gathered back to the flat layout.
-        assigned = stacked.copy()
-        assigned[target_rows] = new_cur
-        assigned[target_rows - 1] = new_prv
-        profiles_flat.append(assigned[data_rows])
+        if vcd_dir is not None:
+            # a VCD dump will need the witnesses immediately: assemble
+            # them from the pairs just computed instead of re-deriving
+            assigned = stacked.copy()
+            assigned[target_rows] = new_cur
+            assigned[target_rows - 1] = new_prv
+            profiles.append(assigned[data_rows])
 
-    odd_full, even_full = profiles_flat
+    witnesses = None
+    if vcd_dir is not None:
+        odd_full, even_full = profiles
+        witnesses = (even_full, odd_full)
     return _finish(
-        tree, model, peak_trace, module_mw, even_full, odd_full, vcd_dir
+        tree, model, peak_trace, module_mw,
+        lambda: _stacked_witnesses(tree, model), vcd_dir, witnesses,
     )
 
 
 # ----------------------------------------------------------------------
 # Scalar engine: one segment at a time (the original reference).
 # ----------------------------------------------------------------------
+def _segment_profiles(tree, model, segment, values, active):
+    """One segment's [context + cycles] inputs and its two maximized
+    profiles, local parity 1 (odd rows) first.  *values*/*active* are the
+    flat trace matrices, computed once by the caller."""
+    n_nets = values.shape[1]
+    sl = tree.segment_slice(segment)
+    if segment.parent is None:
+        context = values[sl.start]  # root: no predecessor transition
+    else:
+        parent = tree.segments[segment.parent[0]]
+        context = values[parent.flat_start + parent.n_cycles - 1]
+    seg_values = np.vstack([context[None, :], values[sl]])
+    seg_active = np.vstack([np.zeros((1, n_nets), dtype=bool), active[sl]])
+    profiles = [
+        maximize_parity(
+            seg_values, seg_active, parity, model.max_prev, model.max_cur
+        )
+        for parity in (1, 0)  # local rows 1,3,5... and 2,4,6...
+    ]
+    return sl, profiles
+
+
+def _scalar_witnesses(
+    tree: ExecutionTree, model: PowerModel
+) -> tuple[np.ndarray, np.ndarray]:
+    """(even, odd) witness profiles via the per-segment reference path."""
+    flat = tree.flat_trace
+    values = flat.values_matrix() if len(flat) else np.zeros((0, 0), np.uint8)
+    active = flat.active_matrix() if len(flat) else np.zeros((0, 0), bool)
+    even_full = values.copy()
+    odd_full = values.copy()
+    for segment in tree.segments:
+        if segment.n_cycles == 0:
+            continue
+        sl, profiles = _segment_profiles(tree, model, segment, values, active)
+        even_full[sl] = profiles[1][1:]
+        odd_full[sl] = profiles[0][1:]
+    return even_full, odd_full
+
+
 def _compute_scalar(
     tree: ExecutionTree,
     model: PowerModel,
@@ -303,35 +429,16 @@ def _compute_scalar(
     active = flat.active_matrix() if len(flat) else np.zeros((0, 0), bool)
     mem_accesses = flat.mem_accesses()
     n_cycles = len(flat)
-    n_nets = values.shape[1] if n_cycles else 0
 
     peak_trace = np.zeros(n_cycles)
     module_names = sorted(model.module_masks) if per_module else []
     module_mw = {name: np.zeros(n_cycles) for name in module_names}
-    even_full = values.copy()
-    odd_full = values.copy()
 
     for segment in tree.segments:
         if segment.n_cycles == 0:
             continue
-        sl = tree.segment_slice(segment)
-        if segment.parent is None:
-            context = values[sl.start]  # root: no predecessor transition
-        else:
-            parent = tree.segments[segment.parent[0]]
-            context = values[parent.flat_start + parent.n_cycles - 1]
-        seg_values = np.vstack([context[None, :], values[sl]])
-        seg_active = np.vstack(
-            [np.zeros((1, n_nets), dtype=bool), active[sl]]
-        )
+        sl, profiles = _segment_profiles(tree, model, segment, values, active)
         seg_mem = np.vstack([[0.0, 0.0], mem_accesses[sl]])
-
-        profiles = [
-            maximize_parity(
-                seg_values, seg_active, parity, model.max_prev, model.max_cur
-            )
-            for parity in (1, 0)  # local rows 1,3,5... and 2,4,6...
-        ]
         powers = [
             model.trace_power(profile, seg_mem, per_module=per_module)
             for profile in profiles
@@ -344,9 +451,8 @@ def _compute_scalar(
             peak_trace[flat_index] = choice.total_mw[local]
             for name in module_names:
                 module_mw[name][flat_index] = choice.module_mw[name][local]
-        even_full[sl] = profiles[1][1:]
-        odd_full[sl] = profiles[0][1:]
 
     return _finish(
-        tree, model, peak_trace, module_mw, even_full, odd_full, vcd_dir
+        tree, model, peak_trace, module_mw,
+        lambda: _scalar_witnesses(tree, model), vcd_dir,
     )

@@ -623,11 +623,30 @@ class Ulp430(object):
         self.netlist = netlist
         self.ports = ports
         self.nets = nets
+        #: the uint8 reference evaluator (kept eagerly: it is the oracle)
         self.evaluator = LevelizedEvaluator(netlist)
+        #: the packed dual-rail evaluator, compiled on first use and then
+        #: shared by every machine/batch built from this CPU
+        self._bitplane_evaluator = None
 
     # ------------------------------------------------------------------
     # Machine construction
     # ------------------------------------------------------------------
+    def evaluator_for(self, engine: str | None = None):
+        """The shared evaluator for *engine* (``None``: ``REPRO_ENGINE``)."""
+        from repro.sim.bitplane import BitplaneEvaluator, default_engine
+
+        engine = engine or default_engine()
+        if engine == "reference":
+            return self.evaluator
+        if engine == "bitplane":
+            if self._bitplane_evaluator is None:
+                self._bitplane_evaluator = BitplaneEvaluator(self.netlist)
+            return self._bitplane_evaluator
+        raise ValueError(
+            f"unknown engine {engine!r}; expected 'bitplane' or 'reference'"
+        )
+
     def make_machine(
         self,
         program: Program,
@@ -635,6 +654,7 @@ class Ulp430(object):
         port_in: int | None = None,
         reset_cycles: int = 2,
         trace=None,
+        engine: str | None = None,
     ) -> Machine:
         """Load *program* and return a reset machine ready to step.
 
@@ -642,10 +662,14 @@ class Ulp430(object):
         X and the GPIO input pins are forced to X (Algorithm 1's setting);
         otherwise the regions must have been filled via
         ``program.with_inputs(...)`` and *port_in* gives the pin values.
+        *engine* picks the simulation representation (bitplane/reference);
+        ``None`` honors ``REPRO_ENGINE``.
         """
         memory = TernaryMemory(n_words=1 << 15)
         memory.load_program(program.words)
-        machine = Machine(self.netlist, self.ports, self.evaluator, memory)
+        machine = Machine(
+            self.netlist, self.ports, self.evaluator_for(engine), memory
+        )
         for position, net in enumerate(self.nets.port_in):
             if symbolic_inputs or port_in is None:
                 machine.forced_inputs[net] = X

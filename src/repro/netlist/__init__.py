@@ -8,6 +8,7 @@ from repro.netlist.core import (
     NetlistError,
 )
 from repro.netlist.builder import NetlistBuilder
+from repro.netlist.program import NetlistProgram
 from repro.netlist.verilog import parse_verilog, write_verilog
 
 __all__ = [
@@ -15,6 +16,7 @@ __all__ = [
     "Netlist",
     "NetlistError",
     "NetlistBuilder",
+    "NetlistProgram",
     "COMB_KINDS",
     "SOURCE_KINDS",
     "parse_verilog",

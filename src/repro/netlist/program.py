@@ -1,0 +1,436 @@
+"""Compile a levelized netlist into a fused bit-plane schedule.
+
+The bit-plane engine (:mod:`repro.sim.bitplane`) stores the 3-valued
+simulation state as **dual-rail uint64 bit planes**: for every net, a
+``P`` bit ("the net can be 1") and an ``N`` bit ("the net can be 0"),
+
+    0 -> (P=0, N=1)    1 -> (P=1, N=0)    X -> (P=1, N=1)
+
+plus an ``A`` plane holding the paper's per-net activity flag.  Under this
+encoding the Kleene gate functions become plain word-wide boolean algebra:
+
+    AND:  p = pa & pb            OR:   p = pa | pb
+          n = na | nb                  n = na & nb
+    NOT:  swap the rails (a compile-time wire crossing, zero runtime ops)
+    XOR:  p = (pa & nb) | (na & pb),  n = (pa & pb) | (na & nb)
+    MUX:  p = (ns & pa) | (ps & pb),  n = (ns & na) | (ps & nb)
+
+so one ``&``/``|`` processes 64 nets at a time, and every inverting gate
+(NAND/NOR/NOT, and OR via De Morgan) costs nothing: its inversions fold
+into *which rail* each input slot reads and *which rail* the result is
+stored to.
+
+This module is the compile step.  It renumbers the nets into a **packed
+bit order** — sources first, then each level's gates grouped into
+word-aligned opcode runs — and precomputes, per level, one fused gather
+table (byte indices + bit masks into the raw plane bytes) that fetches
+every input bit of every gate of the level, for both rails *and* for the
+activity sweep, in a single fancy-indexing call.  The runtime then packs
+the gathered bits with ``np.packbits`` and executes a handful of whole-run
+``&``/``|``/``^`` ops per level.  What used to be ~4 numpy dispatches per
+(level, kind) group becomes ~30 dispatches per *level* over uint64 words.
+
+Bit position 0 is a reserved constant-zero bit (P=0, N=1, A=0 always);
+all padding slots point at it so the pad bits of every run settle to a
+deterministic known 0 and never contribute activity.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netlist.core import Netlist
+
+#: plane indices within the ``(..., 3, n_words)`` state array
+P_PLANE, N_PLANE, A_PLANE = 0, 1, 2
+
+#: opcode-run classes, in their fixed within-level layout order.  ``and``
+#: computes ``p = pa & pb, n = na | nb``; ``and_swap`` the same with the
+#: result rails exchanged (the free output inversion); ``xor``/``xor_swap``
+#: the Kleene XOR and its complement; ``mux`` the optimistic-X 2:1 mux.
+RUN_ORDER = ("and", "and_swap", "xor", "xor_swap", "mux")
+
+#: gate kind -> (run class, invert input rails?)
+KIND_CLASS = {
+    "AND": ("and", False),
+    "BUF": ("and", False),  # AND(a, a)
+    "NOR": ("and", True),  # AND(~a, ~b)
+    "OR": ("and_swap", True),  # ~AND(~a, ~b)
+    "NOT": ("and_swap", False),  # ~AND(a, a)
+    "NAND": ("and_swap", False),  # ~AND(a, b)
+    "XOR": ("xor", False),
+    "XNOR": ("xor_swap", False),
+    "MUX": ("mux", False),
+}
+
+
+def _pad64(bits: int) -> int:
+    return -(-bits // 64) * 64
+
+
+@dataclass
+class Run:
+    """One word-aligned opcode run inside a level."""
+
+    cls: str
+    n_gates: int
+    #: word offset of the run's outputs inside the level's result block
+    res_word: int
+    words: int
+    #: word offsets of the run's input blocks inside the level scratch
+    #: (``and*``/``xor*``: PA, NA, PB, NB; ``mux``: SN, SP, PA, PB, NA, NB)
+    slot_words: tuple[int, ...] = ()
+
+
+@dataclass
+class LevelPlan:
+    """Everything the executor needs for one level of the schedule."""
+
+    #: output word range [word0, word0 + words) in each plane
+    word0: int
+    words: int
+    runs: list[Run] = field(default_factory=list)
+    #: fused gather table: byte index into the raw (3 * n_words * 8)-byte
+    #: state row + the bit to test, one entry per scratch slot
+    gather_bytes: np.ndarray | None = None
+    gather_masks: np.ndarray | None = None
+    scratch_words: int = 0
+    #: word offsets of the two activity-input blocks (each ``words`` wide)
+    act0_word: int = 0
+    act1_word: int = 0
+    #: mux third-input activity block (``mux_words`` wide) or None
+    act2_word: int | None = None
+    mux_words: int = 0
+
+
+class NetlistProgram:
+    """A netlist compiled into packed bit positions + a fused schedule.
+
+    One program instance is immutable and shared by every
+    :class:`~repro.sim.bitplane.BitplaneEvaluator` (and hence every
+    machine) built for the same netlist.
+    """
+
+    def __init__(self, netlist: Netlist):
+        if sys.byteorder != "little":  # pragma: no cover - x86/arm are LE
+            raise RuntimeError("bit-plane engine requires a little-endian host")
+        self.netlist = netlist
+        self.n_nets = netlist.n_nets
+        levels = netlist.levelize()
+        self.depth = len(levels)
+
+        # ------------------------------------------------------------------
+        # Packed bit positions: [zero bit | inputs | consts | pad | DFFs |
+        # pad] then per level one word-aligned block per opcode run.
+        # ------------------------------------------------------------------
+        pos_of = np.full(self.n_nets, -1, dtype=np.int64)
+        cursor = 1  # bit 0 is the reserved constant-zero bit
+        self.input_positions: list[int] = []
+        for gate in netlist.gates:
+            if gate.kind == "INPUT":
+                pos_of[gate.index] = cursor
+                self.input_positions.append(cursor)
+                cursor += 1
+        const0 = [g.index for g in netlist.gates if g.kind == "CONST0"]
+        const1 = [g.index for g in netlist.gates if g.kind == "CONST1"]
+        self.const0_positions: list[int] = []
+        self.const1_positions: list[int] = []
+        for index in const0:
+            pos_of[index] = cursor
+            self.const0_positions.append(cursor)
+            cursor += 1
+        for index in const1:
+            pos_of[index] = cursor
+            self.const1_positions.append(cursor)
+            cursor += 1
+        cursor = _pad64(cursor)
+
+        self.dff_word0 = cursor // 64
+        dffs = netlist.dff_indices()
+        for index in dffs:
+            pos_of[index] = cursor
+            cursor += 1
+        cursor = _pad64(cursor)
+        self.dff_words = cursor // 64 - self.dff_word0
+        self.src_words = cursor // 64
+
+        #: per-level run membership, gates in netlist-index order
+        level_runs: list[dict[str, list[int]]] = []
+        for level_gates in levels:
+            by_cls: dict[str, list[int]] = {}
+            for index in sorted(level_gates):
+                cls, _inv = KIND_CLASS[netlist.gates[index].kind]
+                by_cls.setdefault(cls, []).append(index)
+            level_runs.append(by_cls)
+
+        self.levels: list[LevelPlan] = []
+        for by_cls in level_runs:
+            word0 = cursor // 64
+            plan = LevelPlan(word0=word0, words=0)
+            for cls in RUN_ORDER:
+                gates = by_cls.get(cls)
+                if not gates:
+                    continue
+                run = Run(
+                    cls=cls,
+                    n_gates=len(gates),
+                    res_word=cursor // 64 - word0,
+                    words=_pad64(len(gates)) // 64,
+                )
+                for slot, index in enumerate(gates):
+                    pos_of[index] = cursor + slot
+                cursor += run.words * 64
+                plan.runs.append(run)
+                if cls == "mux":
+                    plan.mux_words = run.words
+            plan.words = cursor // 64 - word0
+            self.levels.append(plan)
+
+        self.n_bits = cursor
+        self.n_words = cursor // 64
+        self.pos_of = pos_of
+        assert (pos_of >= 0).all(), "every net must receive a bit position"
+
+        #: uint64 mask words with 1s at real-net bit positions (pads and
+        #: the zero bit excluded) — for popcounts over whole planes
+        valid = np.zeros(self.n_bits, dtype=np.uint8)
+        valid[pos_of] = 1
+        self.valid_mask = np.packbits(valid, bitorder="little").view(np.uint64)
+
+        #: INPUT-positions mask over the source words (the paper's
+        #: "external inputs are active whenever X" rule)
+        in_bits = np.zeros(self.src_words * 64, dtype=np.uint8)
+        in_bits[self.input_positions] = 1
+        self.input_mask = np.packbits(in_bits, bitorder="little").view(np.uint64)
+
+        # ------------------------------------------------------------------
+        # Per-level fused gather tables
+        # ------------------------------------------------------------------
+        for plan, by_cls in zip(self.levels, level_runs):
+            self._build_level_gather(plan, by_cls)
+
+        # ------------------------------------------------------------------
+        # DFF schedule: next-value gather (P and N of every D input) and
+        # previous-activity gather (A of every D input), plus reset words.
+        # ------------------------------------------------------------------
+        self.dff_out = np.array(dffs, dtype=np.int64)
+        self.dff_d = np.array(
+            [netlist.gates[i].inputs[0] for i in dffs], dtype=np.int64
+        )
+        self.dff_reset = np.array(
+            [netlist.gates[i].reset_value for i in dffs], dtype=np.uint8
+        )
+        self.dff_bit_of = {
+            int(net): pos for pos, net in enumerate(self.dff_out)
+        }
+        d_slots: list[tuple[int, int]] = []  # (plane, bit position)
+        for rail in (P_PLANE, N_PLANE):
+            for j in range(self.dff_words * 64):
+                if j < len(dffs):
+                    d_slots.append((rail, pos_of[self.dff_d[j]]))
+                else:  # pad: P(zero)=0, N(zero)=1 -> pad DFFs settle to 0
+                    d_slots.append((rail, 0))
+        self.dff_gather_bytes, self.dff_gather_masks = self._slot_table(d_slots)
+        a_slots = [
+            (A_PLANE, pos_of[self.dff_d[j]] if j < len(dffs) else 0)
+            for j in range(self.dff_words * 64)
+        ]
+        self.dff_act_bytes, self.dff_act_masks = self._slot_table(a_slots)
+
+        reset_bits = np.zeros((2, self.dff_words * 64), dtype=np.uint8)
+        reset_bits[P_PLANE, : len(dffs)] = self.dff_reset
+        reset_bits[N_PLANE, : len(dffs)] = 1 - self.dff_reset
+        reset_bits[N_PLANE, len(dffs) :] = 1  # pads are known 0
+        self.dff_reset_words = np.packbits(
+            reset_bits, axis=-1, bitorder="little"
+        ).view(np.uint64)
+
+        #: compatibility index arrays (mirroring LevelizedEvaluator)
+        self.input_nets = np.array(
+            [g.index for g in netlist.gates if g.kind == "INPUT"], dtype=np.int64
+        )
+        self.const0_nets = np.array(const0, dtype=np.int64)
+        self.const1_nets = np.array(const1, dtype=np.int64)
+
+        self.max_scratch_words = max(
+            (plan.scratch_words for plan in self.levels), default=0
+        )
+        self.max_level_words = max(
+            (plan.words for plan in self.levels), default=0
+        )
+        self.max_run_words = max(
+            (run.words for plan in self.levels for run in plan.runs),
+            default=0,
+        )
+
+    # ------------------------------------------------------------------
+    # Gather-table construction
+    # ------------------------------------------------------------------
+    def _slot_table(
+        self, slots: list[tuple[int, int]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(byte index, bit mask) arrays for (plane, bit position) slots."""
+        plane_bytes = self.n_words * 8
+        bytes_ = np.array(
+            [plane * plane_bytes + (pos >> 3) for plane, pos in slots],
+            dtype=np.intp,
+        )
+        masks = np.array(
+            [1 << (pos & 7) for _plane, pos in slots], dtype=np.uint8
+        )
+        return bytes_, masks
+
+    def _gate_eval_slots(self, index: int) -> list[tuple[int, int]]:
+        """Input slot sources for one gate, rail folding applied.
+
+        Returns (plane, bit) pairs in the run's block order: PA, NA, PB,
+        NB for the two-input classes, SP, SN, PA, NA, PB, NB for muxes.
+        The PA/NA names refer to the *operand rails the run's formula
+        reads*; an inverting kind simply wires them to the other rail.
+        """
+        gate = self.netlist.gates[index]
+        _cls, invert_inputs = KIND_CLASS[gate.kind]
+        ins = gate.inputs
+        if gate.kind in ("BUF", "NOT"):
+            a = b = ins[0]
+        elif gate.kind == "MUX":
+            # Block order SN, SP, PA, PB, NA, NB: the executor computes
+            # both select products of one rail with a single double-width
+            # AND over the adjacent (SN|SP) and (PA|PB) / (NA|NB) blocks.
+            sel, a, b = ins
+            s, pa, pb = self.pos_of[sel], self.pos_of[a], self.pos_of[b]
+            return [
+                (N_PLANE, s), (P_PLANE, s),
+                (P_PLANE, pa), (P_PLANE, pb),
+                (N_PLANE, pa), (N_PLANE, pb),
+            ]
+        else:
+            a, b = ins
+        pa, na = self.pos_of[a], self.pos_of[a]
+        pb, nb = self.pos_of[b], self.pos_of[b]
+        p_rail, n_rail = (
+            (N_PLANE, P_PLANE) if invert_inputs else (P_PLANE, N_PLANE)
+        )
+        return [
+            (p_rail, pa), (n_rail, na),
+            (p_rail, pb), (n_rail, nb),
+        ]
+
+    #: pad slot sources per class, chosen so a pad output settles to a
+    #: known 0 under the class's formula.  (P, 0) reads the zero bit's P
+    #: rail (constant 0); (N, 0) reads its N rail (constant 1):
+    #:
+    #:   and:      p = 0 & 0 = 0, n = 1 | 1 = 1
+    #:   and_swap: p = NA|NB = 0|0 = 0, n = PA&PB = 1&1 = 1
+    #:   xor:      PA=1, NA=0, PB=1, NB=0 -> p = (1&0)|(0&1) = 0,
+    #:             n = (1&1)|(0&0) = 1
+    #:   xor_swap: PA=1, NA=0, PB=0, NB=1 -> p = (PA&PB)|(NA&NB) = 0,
+    #:             n = (PA&NB)|(NA&PB) = 1
+    #:   mux:      SN=1, SP=0, PA=0, NA=1 -> p = (1&0)|(0&PB) = 0,
+    #:             n = (1&1)|(0&NB) = 1
+    _PAD_SLOTS = {
+        "and": [(P_PLANE, 0), (N_PLANE, 0), (P_PLANE, 0), (N_PLANE, 0)],
+        "and_swap": [(N_PLANE, 0), (P_PLANE, 0), (N_PLANE, 0), (P_PLANE, 0)],
+        "xor": [(N_PLANE, 0), (P_PLANE, 0), (N_PLANE, 0), (P_PLANE, 0)],
+        "xor_swap": [(N_PLANE, 0), (P_PLANE, 0), (P_PLANE, 0), (N_PLANE, 0)],
+        "mux": [  # SN, SP, PA, PB, NA, NB
+            (N_PLANE, 0), (P_PLANE, 0),
+            (P_PLANE, 0), (P_PLANE, 0),
+            (N_PLANE, 0), (N_PLANE, 0),
+        ],
+    }
+
+    def _build_level_gather(self, plan: LevelPlan, by_cls: dict) -> None:
+        slots: list[tuple[int, int]] = []
+        for run in plan.runs:
+            gates = by_cls[run.cls]
+            arity_blocks = 6 if run.cls == "mux" else 4
+            per_gate = [self._gate_eval_slots(i) for i in gates]
+            pad = self._PAD_SLOTS[run.cls]
+            offsets = []
+            for block in range(arity_blocks):
+                offsets.append(len(slots) // 64)
+                for j in range(run.words * 64):
+                    slots.append(
+                        per_gate[j][block] if j < run.n_gates else pad[block]
+                    )
+            run.slot_words = tuple(offsets)
+
+        # Activity blocks: for every output bit of the level (run layout
+        # order), the A bit of its first and second input; muxes add a
+        # third block for the select line.  Pads read A(zero) = 0.
+        out_gates: list[int | None] = []
+        for run in plan.runs:
+            gates = by_cls[run.cls]
+            out_gates.extend(gates)
+            out_gates.extend([None] * (run.words * 64 - run.n_gates))
+        mux_gates = by_cls.get("mux", [])
+
+        def act_slot(index: int | None, input_pos: int) -> tuple[int, int]:
+            if index is None:
+                return (A_PLANE, 0)
+            inputs = self.netlist.gates[index].inputs
+            net = inputs[min(input_pos, len(inputs) - 1)]
+            return (A_PLANE, self.pos_of[net])
+
+        plan.act0_word = len(slots) // 64
+        slots.extend(act_slot(i, 0) for i in out_gates)
+        plan.act1_word = len(slots) // 64
+        slots.extend(act_slot(i, 1) for i in out_gates)
+        if mux_gates:
+            plan.act2_word = len(slots) // 64
+            mux_padded = plan.mux_words * 64
+            slots.extend(
+                act_slot(mux_gates[j] if j < len(mux_gates) else None, 2)
+                for j in range(mux_padded)
+            )
+        plan.gather_bytes, plan.gather_masks = self._slot_table(slots)
+        plan.scratch_words = len(slots) // 64
+
+    # ------------------------------------------------------------------
+    # Pack / unpack between netlist order (uint8 trits) and bit planes
+    # ------------------------------------------------------------------
+    def pack_values(self, values: np.ndarray) -> np.ndarray:
+        """uint8 trit rows -> (..., 2, n_words) P/N planes."""
+        lead = values.shape[:-1]
+        trits = np.zeros(lead + (self.n_bits,), dtype=np.uint8)
+        trits[..., self.pos_of] = values
+        p = np.packbits(trits != 0, axis=-1, bitorder="little")
+        n = np.packbits(trits != 1, axis=-1, bitorder="little")
+        planes = np.stack([p.view(np.uint64), n.view(np.uint64)], axis=-2)
+        # pads (and the zero bit) must read as known 0: P=0, N=1
+        pad_n = ~self.valid_mask
+        planes[..., N_PLANE, :] |= pad_n
+        planes[..., P_PLANE, :] &= self.valid_mask
+        return planes
+
+    def pack_active(self, active: np.ndarray) -> np.ndarray:
+        """bool activity rows -> (..., n_words) A-plane words."""
+        lead = active.shape[:-1]
+        bits = np.zeros(lead + (self.n_bits,), dtype=np.uint8)
+        bits[..., self.pos_of] = active
+        return np.packbits(bits, axis=-1, bitorder="little").view(np.uint64)
+
+    def unpack_trits(self, p_words: np.ndarray, n_words: np.ndarray) -> np.ndarray:
+        """P/N word rows -> uint8 trit rows in netlist net order."""
+        pu = np.unpackbits(
+            np.ascontiguousarray(p_words).view(np.uint8),
+            axis=-1, bitorder="little",
+        )
+        nu = np.unpackbits(
+            np.ascontiguousarray(n_words).view(np.uint8),
+            axis=-1, bitorder="little",
+        )
+        trits = pu + (pu & nu)  # (0,1)->0, (1,0)->1, (1,1)->2
+        return np.take(trits, self.pos_of, axis=-1)
+
+    def unpack_bits(self, words: np.ndarray) -> np.ndarray:
+        """A-plane (or any mask) word rows -> bool rows in net order."""
+        bits = np.unpackbits(
+            np.ascontiguousarray(words).view(np.uint8),
+            axis=-1, bitorder="little",
+        )
+        return np.take(bits, self.pos_of, axis=-1).astype(bool)

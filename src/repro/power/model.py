@@ -153,6 +153,29 @@ class PowerModel:
         }
 
     # ------------------------------------------------------------------
+    # Activity statistics
+    # ------------------------------------------------------------------
+    def activity_profile(self, trace) -> dict:
+        """Per-cycle activity statistics of a simulation trace.
+
+        On bitplane-engine traces the counts come straight from the packed
+        activity words (``np.bitwise_count`` over uint64 planes, 64 nets
+        per word) without unpacking; reference traces fall back to bool
+        sums.  Both count the same paper-defined active set, so the stats
+        are engine-independent — the perf harness records them per
+        benchmark as a cheap cross-engine consistency signal.
+        """
+        counts = trace.activity_counts()
+        toggled = trace.toggled_any()
+        n_cells = len(self.netlist.cell_gate_indices())
+        return {
+            "mean_active_nets": round(float(counts.mean()), 1) if len(counts) else 0.0,
+            "max_active_nets": int(counts.max()) if len(counts) else 0,
+            "toggled_nets": int(toggled.sum()),
+            "cell_count": n_cells,
+        }
+
+    # ------------------------------------------------------------------
     # Core computation
     # ------------------------------------------------------------------
     def mem_energy_fj(self, mem_accesses: np.ndarray | None) -> np.ndarray | None:

@@ -1,5 +1,6 @@
 """Levelized three-valued gate-level simulation."""
 
+from repro.sim.bitplane import BitplaneEvaluator, default_engine, make_evaluator
 from repro.sim.evaluator import LevelizedEvaluator
 from repro.sim.memory import MemoryXAddressError, TernaryMemory
 from repro.sim.machine import Machine, MemoryPorts
@@ -7,7 +8,10 @@ from repro.sim.trace import CycleRecord, Trace
 from repro.sim.vcd import read_vcd, write_vcd
 
 __all__ = [
+    "BitplaneEvaluator",
     "LevelizedEvaluator",
+    "default_engine",
+    "make_evaluator",
     "TernaryMemory",
     "MemoryXAddressError",
     "Machine",

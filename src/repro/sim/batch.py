@@ -32,7 +32,10 @@ from repro.sim.evaluator import LevelizedEvaluator
 from repro.sim.machine import (
     MemoryPorts,
     _MemRequest,
+    compile_bus_spec,
     force_bus,
+    force_bus_planes,
+    force_inputs_packed,
     read_bus,
     sample_memory_control,
     serve_memory_read,
@@ -56,6 +59,8 @@ class Lane:
         "_request",
         "forced_inputs",
         "next_dff_forces",
+        "_forced_src",
+        "_forced_masks",
     )
 
     def __init__(self, row: int, snapshot: dict[str, Any], forces: dict[int, int]):
@@ -67,6 +72,9 @@ class Lane:
         self._request = _MemRequest(**vars(snapshot["request"]))
         self.forced_inputs = dict(snapshot["forced_inputs"])
         self.next_dff_forces = dict(forces)
+        #: packed-engine cache of the compiled forced-input masks
+        self._forced_src: dict[int, int] | None = None
+        self._forced_masks: list[tuple] = []
 
 
 class LaneView:
@@ -86,7 +94,13 @@ class LaneView:
 
     @property
     def values(self) -> np.ndarray:
-        return self._batch.values[self._lane.row]
+        batch = self._batch
+        if batch.packed:
+            # read-only: writes here would bypass the packed planes
+            row = batch._values_cache[self._lane.row][:]
+            row.setflags(write=False)
+            return row
+        return batch.values[self._lane.row]
 
     def peek_bus(self, nets: list[int]) -> tuple[int, int]:
         return read_bus(self.values, nets)
@@ -108,10 +122,24 @@ class BatchMachine:
         self.netlist = netlist
         self.ports = ports
         self.evaluator = evaluator
+        self.packed = bool(getattr(evaluator, "packed", False))
         self.batch_size = batch_size
         self.annotator = annotator
-        self.values = evaluator.fresh_values(batch=batch_size)
-        self._prev_active = np.zeros((batch_size, netlist.n_nets), dtype=bool)
+        if self.packed:
+            #: (B, 3, n_words) uint64 P/N/A planes, one row per lane slot
+            self.planes = evaluator.fresh_planes(batch=batch_size)
+            self._values_cache = np.zeros(
+                (batch_size, netlist.n_nets), dtype=np.uint8
+            )
+            self._active_cache = np.zeros(
+                (batch_size, netlist.n_nets), dtype=bool
+            )
+            self._dout_spec = compile_bus_spec(evaluator.program, ports.dout)
+        else:
+            self.values = evaluator.fresh_values(batch=batch_size)
+            self._prev_active = np.zeros(
+                (batch_size, netlist.n_nets), dtype=bool
+            )
         self.lanes: list[Lane] = []
         self._dff_pos = {
             int(net): pos for pos, net in enumerate(evaluator.dff_out)
@@ -134,16 +162,30 @@ class BatchMachine:
             raise ValueError(f"all {self.batch_size} lanes are live")
         lane = Lane(len(self.lanes), snapshot, forces)
         self.lanes.append(lane)
-        self.values[lane.row] = snapshot["values"]
-        self._prev_active[lane.row] = snapshot["prev_active"]
+        if self.packed:
+            self.planes[lane.row] = snapshot["values"]
+            self._values_cache[lane.row] = self.evaluator.unpack_values(
+                snapshot["values"]
+            )
+            self._active_cache[lane.row] = self.evaluator.unpack_active(
+                snapshot["values"]
+            )
+        else:
+            self.values[lane.row] = snapshot["values"]
+            self._prev_active[lane.row] = snapshot["prev_active"]
         return lane
 
     def retire(self, lane: Lane) -> None:
         """Remove *lane*, compacting live rows to the top of the matrix."""
         last = self.lanes.pop()
         if last is not lane:
-            self.values[lane.row] = self.values[last.row]
-            self._prev_active[lane.row] = self._prev_active[last.row]
+            if self.packed:
+                self.planes[lane.row] = self.planes[last.row]
+                self._values_cache[lane.row] = self._values_cache[last.row]
+                self._active_cache[lane.row] = self._active_cache[last.row]
+            else:
+                self.values[lane.row] = self.values[last.row]
+                self._prev_active[lane.row] = self._prev_active[last.row]
             last.row = lane.row
             self.lanes[lane.row] = last
         lane.row = -1
@@ -158,14 +200,20 @@ class BatchMachine:
         mutates in place, so they are copied; ``memory`` is a
         copy-on-write :meth:`~repro.sim.memory.TernaryMemory.fork`.
         """
+        if self.packed:
+            state = self.planes[lane.row].copy()
+            prev_active = None
+        else:
+            state = self.values[lane.row].copy()
+            prev_active = self._prev_active[lane.row].copy()
         return {
-            "values": self.values[lane.row].copy(),
+            "values": state,
             "memory": lane.memory.fork(),
             "cycle": lane.cycle,
             "dout_value": lane.dout_value,
             "dout_xmask": lane.dout_xmask,
             "request": _MemRequest(**vars(lane._request)),
-            "prev_active": self._prev_active[lane.row].copy(),
+            "prev_active": prev_active,
             "forced_inputs": dict(lane.forced_inputs),
             "next_dff_forces": dict(lane.next_dff_forces),
         }
@@ -186,6 +234,8 @@ class BatchMachine:
         indexing skips the 2-D dispatch overhead, so a single-path stretch
         costs the same as the scalar engine.
         """
+        if self.packed:
+            return self._step_packed()
         n_live = len(self.lanes)
         evaluator = self.evaluator
         squeeze = n_live == 1
@@ -234,6 +284,76 @@ class BatchMachine:
                         if self.annotator
                         else {}
                     ),
+                )
+            )
+            lane.cycle += 1
+        return records
+
+    def _step_packed(self) -> list[CycleRecord]:
+        """Advance every live lane one cycle on packed bit planes.
+
+        Mirrors the reference :meth:`step` clocking order exactly; the
+        settle and the activity marking run fused over the compiled level
+        schedule, one sweep for all live lanes.  Lane rows are unpacked
+        once per step into the shared ``values``/``active`` caches (the
+        trace boundary) that :class:`LaneView` and the records read.
+        """
+        n_live = len(self.lanes)
+        evaluator = self.evaluator
+        squeeze = n_live == 1
+        # Round the processed row count up to a power of two: the
+        # evaluator caches a full scratch/tape set per leading shape, so
+        # quantizing bounds it to O(log B) sets instead of one per live
+        # count.  The extra rows hold retired-lane garbage; the sweep is
+        # pure bitwise, their results are never read, and a later load()
+        # overwrites the whole row.
+        n_rows = n_live
+        if not squeeze:
+            n_rows = 2
+            while n_rows < n_live:
+                n_rows *= 2
+            n_rows = min(n_rows, self.batch_size)
+        planes = self.planes[0] if squeeze else self.planes[:n_rows]
+        evaluator.stash_prev(planes)
+        next_dff = evaluator.next_dff_planes(planes, reset=False)
+        mem_counts: list[tuple[float, float]] = []
+        for lane in self.lanes:
+            if lane.next_dff_forces:
+                evaluator.force_dff_bits(
+                    next_dff if squeeze else next_dff[lane.row],
+                    lane.next_dff_forces,
+                )
+                lane.next_dff_forces = {}
+            mem_counts.append(serve_memory_read(lane))
+        evaluator.set_dff_planes(planes, next_dff)
+        for lane in self.lanes:
+            row = planes if squeeze else self.planes[lane.row]
+            force_bus_planes(
+                row, self._dout_spec, lane.dout_value, lane.dout_xmask
+            )
+            force_inputs_packed(row, lane, evaluator.program)
+        evaluator.settle_and_mark(planes)
+        live_planes = self.planes[:n_live]
+        self._values_cache[:n_live] = evaluator.unpack_values(live_planes)
+        self._active_cache[:n_live] = evaluator.unpack_active(live_planes)
+        active_words = evaluator.active_words(live_planes)
+        records: list[CycleRecord] = []
+        for lane, (mem_reads, mem_writes) in zip(self.lanes, mem_counts):
+            row_values = self._values_cache[lane.row].copy()
+            sample_memory_control(lane, row_values, self.ports)
+            records.append(
+                CycleRecord(
+                    cycle=lane.cycle,
+                    values=row_values,
+                    active=self._active_cache[lane.row].copy(),
+                    mem_reads=mem_reads,
+                    mem_writes=mem_writes,
+                    annotations=(
+                        self.annotator(self.lane_view(lane))
+                        if self.annotator
+                        else {}
+                    ),
+                    active_words=active_words[lane.row].copy(),
                 )
             )
             lane.cycle += 1

@@ -72,6 +72,13 @@ class LevelizedEvaluator:
         self.input_nets = np.array(
             [g.index for g in netlist.gates if g.kind == "INPUT"], dtype=np.int64
         )
+        #: widest (level, kind) group — sizes the activity scratch buffers
+        self._max_group = max(
+            (group.out.size for level in self._groups for group in level),
+            default=0,
+        )
+        #: per-leading-shape reusable scratch for :meth:`compute_activity`
+        self._act_scratch: dict[tuple[int, ...], tuple] = {}
 
     def fresh_values(self, batch: int | None = None) -> np.ndarray:
         """All-X value state with constants tied (the paper's initial state).
@@ -137,9 +144,10 @@ class LevelizedEvaluator:
         changed or are X — an unknown external value may toggle at any time.
         Accepts matching ``(n_nets,)`` vectors or ``(B, n_nets)`` batches.
         """
-        changed = prev_values != values
+        # np.not_equal already yields a fresh bool array to grow into the
+        # activity vector — no separate `changed` copy.
+        active = np.not_equal(prev_values, values)
         is_x = values == X
-        active = changed.copy()
         active[..., self.input_nets] |= is_x[..., self.input_nets]
         if self.dff_out.size:
             if prev_d_activity is not None:
@@ -149,10 +157,27 @@ class LevelizedEvaluator:
                     values.shape[:-1] + (self.dff_out.size,), dtype=bool
                 )
             active[..., self.dff_out] |= is_x[..., self.dff_out] & dff_driven
+        # Reusable per-group scratch (allocated once per leading shape):
+        # the per-cycle fan-in OR and X-mask temporaries write into these
+        # buffers instead of allocating ~2 arrays per (level, kind) group.
+        lead = values.shape[:-1]
+        scratch = self._act_scratch.get(lead)
+        if scratch is None:
+            scratch = self._act_scratch[lead] = (
+                np.empty(lead + (self._max_group,), dtype=bool),
+                np.empty(lead + (self._max_group,), dtype=bool),
+            )
+        driven_buf, x_buf = scratch
         for level in self._groups:
             for group in level:
-                driven = active[..., group.ins[0]]
+                width = group.out.size
+                driven = driven_buf[..., :width]
+                np.take(active, group.ins[0], axis=-1, out=driven)
                 for other in group.ins[1:]:
-                    driven = driven | active[..., other]
-                active[..., group.out] |= is_x[..., group.out] & driven
+                    np.take(active, other, axis=-1, out=x_buf[..., :width])
+                    np.bitwise_or(driven, x_buf[..., :width], out=driven)
+                gate_x = x_buf[..., :width]
+                np.take(is_x, group.out, axis=-1, out=gate_x)
+                np.bitwise_and(gate_x, driven, out=gate_x)
+                active[..., group.out] |= gate_x
         return active

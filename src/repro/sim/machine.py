@@ -22,6 +22,8 @@ import numpy as np
 
 from repro.logic import X
 from repro.netlist.core import Netlist
+from repro.netlist.program import N_PLANE, P_PLANE
+from repro.sim.bitplane import make_evaluator
 from repro.sim.evaluator import LevelizedEvaluator
 from repro.sim.memory import TernaryMemory
 from repro.sim.trace import CycleRecord, Trace
@@ -78,6 +80,88 @@ def force_bus(
             values[net] = X
         else:
             values[net] = (value >> position) & 1
+
+
+# ----------------------------------------------------------------------
+# Packed-state forcing primitives (bit-plane engine), shared by Machine
+# and BatchMachine.  Forced nets are INPUT gates, so their packed bits
+# live in the source block and are updated with a handful of masked
+# read-modify-writes on whole uint64 words — the planes never unpack.
+# ----------------------------------------------------------------------
+def compile_trit_masks(program, assignments: dict[int, int]) -> list[tuple]:
+    """{net: trit} -> per-word (all_bits, p_bits, n_bits) Python-int masks."""
+    by_word: dict[int, list[int]] = {}
+    for net, value in assignments.items():
+        pos = int(program.pos_of[net])
+        word, bit = pos >> 6, 1 << (pos & 63)
+        masks = by_word.setdefault(word, [0, 0, 0])
+        masks[0] |= bit
+        if value != 0:  # 1 and X raise the P ("can be 1") rail
+            masks[1] |= bit
+        if value != 1:  # 0 and X raise the N ("can be 0") rail
+            masks[2] |= bit
+    return [(w, m[0], m[1], m[2]) for w, m in sorted(by_word.items())]
+
+
+def apply_trit_masks(planes: np.ndarray, masks: list[tuple]) -> None:
+    """Apply :func:`compile_trit_masks` output to one (3, n_words) state."""
+    for word, all_bits, p_bits, n_bits in masks:
+        planes[P_PLANE, word] = (
+            int(planes[P_PLANE, word]) & ~all_bits
+        ) | p_bits
+        planes[N_PLANE, word] = (
+            int(planes[N_PLANE, word]) & ~all_bits
+        ) | n_bits
+
+
+def compile_bus_spec(program, nets: list[int]) -> list[tuple]:
+    """Bus nets -> per-word (all_bits, [(bus bit index, plane bit)]) spec."""
+    by_word: dict[int, list] = {}
+    for position, net in enumerate(nets):
+        pos = int(program.pos_of[net])
+        word, bit = pos >> 6, 1 << (pos & 63)
+        entry = by_word.setdefault(word, [0, []])
+        entry[0] |= bit
+        entry[1].append((position, bit))
+    return [(w, e[0], tuple(e[1])) for w, e in sorted(by_word.items())]
+
+
+def force_inputs_packed(planes: np.ndarray, state, program) -> None:
+    """Apply *state*'s ``forced_inputs`` to one packed (3, n_words) row.
+
+    *state* is a Machine or a batch Lane: anything carrying
+    ``forced_inputs`` plus the ``_forced_src``/``_forced_masks`` cache
+    slots.  The compiled per-word masks are rebuilt only when the dict
+    changes, so both engines share one caching/invalidation rule.
+    """
+    if not state.forced_inputs:
+        return
+    if state._forced_src != state.forced_inputs:
+        state._forced_src = dict(state.forced_inputs)
+        state._forced_masks = compile_trit_masks(program, state.forced_inputs)
+    apply_trit_masks(planes, state._forced_masks)
+
+
+def force_bus_planes(
+    planes: np.ndarray, spec: list[tuple], value: int, xmask: int
+) -> None:
+    """Drive a compiled bus spec with a (value, xmask) word, in place."""
+    for word, all_bits, bits in spec:
+        p_bits = n_bits = 0
+        for position, bit in bits:
+            if (xmask >> position) & 1:
+                p_bits |= bit
+                n_bits |= bit
+            elif (value >> position) & 1:
+                p_bits |= bit
+            else:
+                n_bits |= bit
+        planes[P_PLANE, word] = (
+            int(planes[P_PLANE, word]) & ~all_bits
+        ) | p_bits
+        planes[N_PLANE, word] = (
+            int(planes[N_PLANE, word]) & ~all_bits
+        ) | n_bits
 
 
 # ----------------------------------------------------------------------
@@ -151,9 +235,21 @@ class Machine:
     ):
         self.netlist = netlist
         self.ports = ports
-        self.evaluator = evaluator or LevelizedEvaluator(netlist)
+        #: ``evaluator=None`` honors ``REPRO_ENGINE`` (default: bitplane);
+        #: pass a LevelizedEvaluator for the uint8 reference engine.
+        self.evaluator = evaluator or make_evaluator(netlist)
+        #: True when state lives in packed dual-rail bit planes
+        self.packed = bool(getattr(self.evaluator, "packed", False))
         self.memory = memory or TernaryMemory()
-        self.values = self.evaluator.fresh_values()
+        if self.packed:
+            #: (3, n_words) uint64 P/N/A planes — the machine state
+            self.planes = self.evaluator.fresh_planes()
+            self._values_cache: np.ndarray | None = None
+            self._dout_spec = None
+            self._forced_src: dict[int, int] | None = None
+            self._forced_masks: list[tuple] = []
+        else:
+            self.values = self.evaluator.fresh_values()
         self.cycle = 0
         #: Last-read memory word presented on the dout bus (sync SRAM reg).
         self.dout_value = 0
@@ -177,6 +273,32 @@ class Machine:
         #: Extra annotations callback: machine -> dict, set by the CPU layer.
 
     # ------------------------------------------------------------------
+    # Values view: the uint8 net-order vector every consumer reads.  The
+    # reference engine owns it outright; the bitplane engine stores planes
+    # and unpacks on demand (cached per settle).
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        if not self.packed:
+            return self._values
+        if self._values_cache is None:
+            cache = self.evaluator.unpack_values(self.planes)
+            # read-only: the cache doubles as the trace record's values
+            # row, and element writes here would bypass the planes anyway
+            cache.setflags(write=False)
+            self._values_cache = cache
+        return self._values_cache
+
+    @values.setter
+    def values(self, array: np.ndarray) -> None:
+        if self.packed:
+            raise AttributeError(
+                "bitplane machines derive .values from the packed planes; "
+                "mutate state through step()/restore()/forced_inputs"
+            )
+        self._values = array
+
+    # ------------------------------------------------------------------
     # State management (forking + memoization)
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
@@ -192,27 +314,31 @@ class Machine:
         """
         self._values_shared = True
         return {
-            "values": self.values,
+            "values": self.planes if self.packed else self.values,
             "memory": self.memory.fork(),
             "cycle": self.cycle,
             "dout_value": self.dout_value,
             "dout_xmask": self.dout_xmask,
             "request": _MemRequest(**vars(self._request)),
-            "prev_active": self._prev_active,
+            "prev_active": None if self.packed else self._prev_active,
             "forced_inputs": dict(self.forced_inputs),
             "next_dff_forces": dict(self.next_dff_forces),
         }
 
     def restore(self, snap: dict[str, Any]) -> None:
         """Adopt *snap* without invalidating it (copy-on-write adoption)."""
-        self.values = snap["values"]
+        if self.packed:
+            self.planes = snap["values"]
+            self._values_cache = None
+        else:
+            self.values = snap["values"]
+            self._prev_active = snap["prev_active"]
         self._values_shared = True
         self.memory = snap["memory"].fork()
         self.cycle = snap["cycle"]
         self.dout_value = snap["dout_value"]
         self.dout_xmask = snap["dout_xmask"]
         self._request = _MemRequest(**vars(snap["request"]))
-        self._prev_active = snap["prev_active"]
         self.forced_inputs = dict(snap["forced_inputs"])
         self.next_dff_forces = dict(snap["next_dff_forces"])
 
@@ -220,25 +346,35 @@ class Machine:
         """Architectural-state fingerprint for execution-tree memoization."""
         return Machine.snapshot_state_key(
             {
-                "values": self.values,
+                "values": self.planes if self.packed else self.values,
                 "dout_value": self.dout_value,
                 "dout_xmask": self.dout_xmask,
                 "memory": self.memory,
                 "request": self._request,
             },
-            self.evaluator.dff_out,
+            self.evaluator,
         )
 
     @staticmethod
-    def snapshot_state_key(snap: dict, dff_out) -> bytes:
+    def snapshot_state_key(snap: dict, key_source) -> bytes:
         """State fingerprint of a snapshot dict (see :meth:`state_key`).
 
         Covers everything that determines future behaviour: flip-flop
         values, the registered memory-read word, the pending memory
-        request, and the full memory contents.
+        request, and the full memory contents.  *key_source* is the
+        machine's evaluator (either engine) or, for backward
+        compatibility, a bare ``dff_out`` index array; the packed engine
+        fingerprints its DFF plane words directly — a bijective encoding
+        of the same flip-flop values, so the induced state-equivalence
+        relation (and therefore the execution tree) is identical.
         """
         h = hashlib.blake2b(digest_size=16)
-        h.update(snap["values"][dff_out].tobytes())
+        values = snap["values"]
+        if values.dtype == np.uint64:
+            h.update(key_source.state_bytes(values))
+        else:
+            dff_out = getattr(key_source, "dff_out", key_source)
+            h.update(values[dff_out].tobytes())
         h.update(int(snap["dout_value"]).to_bytes(2, "little"))
         h.update(int(snap["dout_xmask"]).to_bytes(2, "little"))
         request = snap["request"]
@@ -267,6 +403,15 @@ class Machine:
         for net, value in self.forced_inputs.items():
             self.values[net] = value
 
+    def _apply_inputs_packed(self) -> None:
+        program = self.evaluator.program
+        if self._dout_spec is None:
+            self._dout_spec = compile_bus_spec(program, self.ports.dout)
+        force_bus_planes(
+            self.planes, self._dout_spec, self.dout_value, self.dout_xmask
+        )
+        force_inputs_packed(self.planes, self, program)
+
     def _sample_memory_control(self) -> None:
         sample_memory_control(self, self.values, self.ports)
 
@@ -276,6 +421,8 @@ class Machine:
 
     def step(self, reset: bool = False, trace: Trace | None = None) -> CycleRecord:
         """Advance one clock cycle and optionally record it into *trace*."""
+        if self.packed:
+            return self._step_packed(reset, trace)
         if self._values_shared:
             # A snapshot or trace record holds self.values: hand it the old
             # array and mutate a private copy (one copy per cycle total).
@@ -309,6 +456,51 @@ class Machine:
         self._prev_active = active
         self.cycle += 1
         if trace is not None:
+            trace.append(record)
+        return record
+
+    def _step_packed(self, reset: bool, trace: Trace | None) -> CycleRecord:
+        """One clock cycle in the packed bit-plane representation.
+
+        Bit-identical to the reference :meth:`step`: the same update
+        order, with the combinational settle and the activity marking
+        fused into one sweep over the compiled level schedule.  The
+        record's ``values``/``active`` rows are unpacked fresh each cycle
+        (the trace boundary), so no copy-on-write discipline is needed
+        for them; the planes themselves are materialized only when a
+        snapshot still shares them.
+        """
+        evaluator = self.evaluator
+        if self._values_shared:
+            self.planes = self.planes.copy()
+            self._values_shared = False
+        evaluator.stash_prev(self.planes)
+        next_dff = evaluator.next_dff_planes(self.planes, reset)
+        if self.next_dff_forces:
+            evaluator.force_dff_bits(next_dff, self.next_dff_forces)
+            self.next_dff_forces = {}
+        mem_reads, mem_writes = self._serve_read()
+        evaluator.set_dff_planes(self.planes, next_dff)
+        self._apply_inputs_packed()
+        evaluator.settle_and_mark(self.planes)
+        values = evaluator.unpack_values(self.planes)
+        values.setflags(write=False)  # shared by the cache and the record
+        self._values_cache = values
+        active = evaluator.unpack_active(self.planes)
+        self._sample_memory_control()
+        record = CycleRecord(
+            cycle=self.cycle,
+            values=values,
+            active=active,
+            mem_reads=mem_reads,
+            mem_writes=mem_writes,
+            annotations=self.annotator(self) if self.annotator else {},
+            active_words=evaluator.active_words(self.planes),
+        )
+        self.cycle += 1
+        if trace is not None:
+            if trace.packing is None:
+                trace.packing = evaluator.program
             trace.append(record)
         return record
 

@@ -27,6 +27,9 @@ class CycleRecord:
     mem_reads: float
     mem_writes: float
     annotations: dict[str, Any] = field(default_factory=dict)
+    #: packed uint64 activity words (bitplane engine only; already masked
+    #: to real nets) — lets whole-trace activity reductions stay packed
+    active_words: np.ndarray | None = None
 
 
 class Trace:
@@ -35,6 +38,9 @@ class Trace:
     def __init__(self, n_nets: int):
         self.n_nets = n_nets
         self.records: list[CycleRecord] = []
+        #: the :class:`~repro.netlist.program.NetlistProgram` whose bit
+        #: order the records' ``active_words`` use (bitplane traces only)
+        self.packing = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -65,12 +71,44 @@ class Trace:
     def annotation(self, key: str, default: Any = None) -> list[Any]:
         return [r.annotations.get(key, default) for r in self.records]
 
+    def _packed_active(self) -> np.ndarray | None:
+        """(n_cycles, n_words) packed activity, when every record has it."""
+        if self.packing is None or not self.records:
+            return None
+        if any(r.active_words is None for r in self.records):
+            return None
+        return np.stack([r.active_words for r in self.records])
+
     def toggled_any(self) -> np.ndarray:
         """Per-net flag: was the net active in *any* cycle of the trace?
 
-        This is the "potentially-toggled" gate set of Figure 3.4.
+        This is the "potentially-toggled" gate set of Figure 3.4.  On
+        bitplane traces the union is taken over the packed activity words
+        (64 nets per OR) and unpacked once at the end.
         """
+        packed = self._packed_active()
+        if packed is not None:
+            return self.packing.unpack_bits(
+                np.bitwise_or.reduce(packed, axis=0)
+            )
         flags = np.zeros(self.n_nets, dtype=bool)
         for record in self.records:
             flags |= record.active
         return flags
+
+    def activity_counts(self) -> np.ndarray:
+        """Number of active nets per cycle (the paper's activity rate).
+
+        Computed with ``np.bitwise_count`` over the packed activity words
+        when the trace came from the bitplane engine; falls back to
+        summing the bool rows otherwise.  Both paths count the same set.
+        """
+        packed = self._packed_active()
+        if packed is not None:
+            from repro.sim.bitplane import popcount
+
+            return popcount(packed).astype(np.int64)
+        return np.array(
+            [int(record.active.sum()) for record in self.records],
+            dtype=np.int64,
+        )

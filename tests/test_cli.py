@@ -35,6 +35,22 @@ class TestCli:
         out = capsys.readouterr().out
         assert "peak power" in out and "mW" in out
 
+    def test_analyze_engines_agree(self, program_file, capsys, monkeypatch):
+        """--engine reference and --engine bitplane print the same numbers
+        (and the flag exports REPRO_ENGINE for downstream machines)."""
+        import os
+
+        # setenv (not delenv) so monkeypatch records the original absence
+        # and removes the variable again at teardown even though the CLI
+        # handler overwrites it via os.environ directly.
+        monkeypatch.setenv("REPRO_ENGINE", "bitplane")
+        outputs = []
+        for engine in ("bitplane", "reference"):
+            assert main(["analyze", program_file, "--engine", engine]) == 0
+            outputs.append(capsys.readouterr().out)
+            assert os.environ["REPRO_ENGINE"] == engine
+        assert outputs[0] == outputs[1]
+
     def test_analyze_writes_vcds(self, program_file, tmp_path, capsys):
         vcd_dir = tmp_path / "vcds"
         assert main(["analyze", program_file, "--vcd-dir", str(vcd_dir)]) == 0

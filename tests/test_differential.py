@@ -1,10 +1,13 @@
-"""Differential regression layer: batched engine ≡ scalar engine.
+"""Differential regression layer: every engine ≡ the scalar reference.
 
-For every Table 4.1 benchmark the batched exploration engine must produce
-the *same* :class:`ExecutionTree` as the scalar reference — segment for
+For every Table 4.1 benchmark the batched **bitplane** engine (packed
+dual-rail planes, the default) must produce the *same*
+:class:`ExecutionTree` as the scalar uint8 reference — segment for
 segment, fork for fork, trace record for trace record — and the analysis
 numbers computed from it must match the golden values pinned from the
-seed's scalar run (``tests/golden_suite.json``).
+seed's scalar run (``tests/golden_suite.json``).  This covers both axes
+at once: the lock-step batching (PR 1) and the packed representation
+(this PR); the batched *reference* engine keeps a spot check.
 
 The heavy multi-path kernels make this the most expensive test module in
 the suite; everything per benchmark is computed once in a module-scoped
@@ -67,7 +70,7 @@ def model(cpu):
 
 @pytest.fixture(scope="module", params=sorted(ALL_BENCHMARKS))
 def engines(request, cpu):
-    """(name, scalar tree, batched tree) for one benchmark."""
+    """(name, reference scalar tree, bitplane batched tree) per benchmark."""
     name = request.param
     benchmark = get_benchmark(name)
     trees = [
@@ -77,8 +80,9 @@ def engines(request, cpu):
             max_cycles=benchmark.max_cycles,
             max_segments=benchmark.max_segments,
             batch_size=batch_size,
+            engine=engine,
         )
-        for batch_size in (1, 8)
+        for batch_size, engine in ((1, "reference"), (None, "bitplane"))
     ]
     return name, trees[0], trees[1]
 
@@ -86,6 +90,23 @@ def engines(request, cpu):
 class TestBatchedEqualsScalar:
     def test_execution_tree_bit_identical(self, engines):
         _name, scalar, batched = engines
+        assert_trees_identical(scalar, batched)
+
+    def test_reference_batched_spot_check(self, engines, cpu):
+        """The uint8 reference engine's lock-step mode stays identical too
+        (one benchmark-sized probe; the bitplane fixture covers all 14)."""
+        name, scalar, _bitplane = engines
+        if name != "mult":
+            pytest.skip("reference-batched probe runs on mult only")
+        benchmark = get_benchmark(name)
+        batched = explore(
+            cpu,
+            benchmark.program(),
+            max_cycles=benchmark.max_cycles,
+            max_segments=benchmark.max_segments,
+            batch_size=8,
+            engine="reference",
+        )
         assert_trees_identical(scalar, batched)
 
     def test_analysis_matches_golden(self, engines, model):
