@@ -3,7 +3,6 @@ input-based power trace, cycle by cycle (shown for mult)."""
 
 from conftest import heading
 
-import numpy as np
 
 from repro.bench import runner
 from repro.bench.suite import ALL_BENCHMARKS

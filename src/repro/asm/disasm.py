@@ -6,7 +6,6 @@ from __future__ import annotations
 from repro.isa.spec import (
     MODE_INDEXED,
     MODE_INDIRECT,
-    MODE_INDIRECT_INC,
     MODE_REGISTER,
     PC,
     REG_NAMES,

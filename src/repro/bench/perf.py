@@ -22,6 +22,7 @@ so a bench run doubles as a coarse differential test.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -76,11 +77,23 @@ def run_perf_suite(
     batch_size: int | None = None,
     repeats: int = 1,
     cpu=None,
+    workers: int | None = None,
 ) -> dict:
-    """Time every pipeline phase, scalar vs batched; return the report."""
+    """Time every pipeline phase, scalar vs batched; return the report.
+
+    With *workers* > 1 (or ``REPRO_WORKERS``) the explore phase is also
+    timed under the sharded multi-process engine and cross-checked bit
+    for bit against the single-process trace; ``explore.sharded_s`` /
+    ``sharded_speedup`` (vs the single-process bitplane run) land in the
+    artifact so worker-count scaling is tracked per benchmark.
+    """
+    from repro.parallel.pool import fork_available, resolve_workers
+
     names = names if names is not None else list(DEFAULT_PERF_BENCHMARKS)
     if batch_size is None:
         batch_size = default_batch_size()
+    workers = resolve_workers(workers)
+    time_sharded = workers > 1 and fork_available()
     cpu = cpu or build_ulp430()
     model = PowerModel(cpu.netlist, SG65, clock_ns=10.0)
     rows = []
@@ -88,7 +101,9 @@ def run_perf_suite(
         benchmark = get_benchmark(name)
         program = benchmark.program()
 
-        def run_explore(engine_batch: int | None, engine: str):
+        def run_explore(
+            engine_batch: int | None, engine: str, n_workers: int = 1
+        ):
             return explore(
                 cpu,
                 program,
@@ -96,6 +111,7 @@ def run_perf_suite(
                 max_segments=benchmark.max_segments,
                 batch_size=engine_batch,
                 engine=engine,
+                workers=n_workers,
             )
 
         def trace_digest(some_tree) -> bytes:
@@ -136,15 +152,32 @@ def run_perf_suite(
             raise AssertionError(
                 f"{name}: bitplane and reference traces disagree"
             )
+        explore_sharded_s = None
+        if time_sharded:
+            explore_sharded_s, sharded_tree = _best(
+                lambda: run_explore(None, "bitplane", workers), repeats
+            )
+            if trace_digest(sharded_tree) != reference_digest:
+                raise AssertionError(
+                    f"{name}: sharded explore trace drifted"
+                )
+            del sharded_tree
         activity_stats = model.activity_profile(tree.flat_trace)
 
+        # workers=1 pins the timed engines single-threaded regardless of
+        # REPRO_WORKERS (exported by `bench --workers`), so stacked_s
+        # measures the stacked layout, not kernel threading, and stays
+        # comparable across artifacts (the regression gate diffs it).
         power_scalar_s, power_scalar = _best(
             lambda: compute_peak_power(tree, model, engine="scalar"), repeats
         )
         scalar_trace = power_scalar.trace_mw
         del power_scalar  # keep only the trace for the cross-check
         power_stacked_s, power = _best(
-            lambda: compute_peak_power(tree, model, engine="stacked"), repeats
+            lambda: compute_peak_power(
+                tree, model, engine="stacked", workers=1
+            ),
+            repeats,
         )
         if not np.array_equal(scalar_trace, power.trace_mw):
             raise AssertionError(f"{name}: peak-power engines disagree")
@@ -178,29 +211,38 @@ def run_perf_suite(
             explore_bitplane_s + power_stacked_s + energy_s
             + profiling_batched_s
         )
+        explore_row = {
+            # schema-2 fields keep their PR 2 semantics (speedup =
+            # scalar/batched reference); bitplane_* are additive
+            **_phase(explore_scalar_s, explore_batched_s, "batched_s"),
+            "bitplane_s": round(explore_bitplane_s, 3),
+            "bitplane_speedup": round(
+                explore_batched_s / explore_bitplane_s, 2
+            ) if explore_bitplane_s else 0.0,  # vs the PR 2 baseline
+            "scalar_cycles_per_s": round(
+                tree.n_cycles / explore_scalar_s, 1
+            ),
+            "batched_cycles_per_s": round(
+                tree.n_cycles / explore_batched_s, 1
+            ),
+            "bitplane_cycles_per_s": round(
+                tree.n_cycles / explore_bitplane_s, 1
+            ),
+        }
+        if explore_sharded_s is not None:
+            explore_row["sharded_s"] = round(explore_sharded_s, 3)
+            explore_row["sharded_workers"] = workers
+            # gain of the multi-process shard over the single-process
+            # bitplane run at identical results
+            explore_row["sharded_speedup"] = round(
+                explore_bitplane_s / explore_sharded_s, 2
+            ) if explore_sharded_s else 0.0
         rows.append(
             {
                 "name": name,
                 "n_segments": len(tree.segments),
                 "n_cycles": tree.n_cycles,
-                "explore": {
-                    # schema-2 fields keep their PR 2 semantics (speedup =
-                    # scalar/batched reference); bitplane_* are additive
-                    **_phase(explore_scalar_s, explore_batched_s, "batched_s"),
-                    "bitplane_s": round(explore_bitplane_s, 3),
-                    "bitplane_speedup": round(
-                        explore_batched_s / explore_bitplane_s, 2
-                    ) if explore_bitplane_s else 0.0,  # vs the PR 2 baseline
-                    "scalar_cycles_per_s": round(
-                        tree.n_cycles / explore_scalar_s, 1
-                    ),
-                    "batched_cycles_per_s": round(
-                        tree.n_cycles / explore_batched_s, 1
-                    ),
-                    "bitplane_cycles_per_s": round(
-                        tree.n_cycles / explore_bitplane_s, 1
-                    ),
-                },
+                "explore": explore_row,
                 "activity": activity_stats,
                 "peakpower": _phase(
                     power_scalar_s, power_stacked_s, "stacked_s"
@@ -242,10 +284,12 @@ def run_perf_suite(
             "sim_engine": default_engine(),
             "bitplane_batch_size": default_batch_size("bitplane"),
             "repeats": repeats,
+            "workers": workers,
         },
         "host": {
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "cpus": os.cpu_count(),
         },
         "generated": time.strftime("%Y-%m-%d"),
         "benchmarks": rows,

@@ -242,11 +242,16 @@ def all_names() -> list[str]:
 # ----------------------------------------------------------------------
 # Process-parallel suite runner
 # ----------------------------------------------------------------------
-_KNOB_VARS = ("REPRO_NO_CACHE", "REPRO_BATCH_SIZE", "REPRO_ENGINE")
+_KNOB_VARS = (
+    "REPRO_NO_CACHE", "REPRO_BATCH_SIZE", "REPRO_ENGINE", "REPRO_WORKERS"
+)
 
 
 def _apply_knobs(
-    batch_size: int | None, no_cache: bool, engine: str | None = None
+    batch_size: int | None,
+    no_cache: bool,
+    engine: str | None = None,
+    workers: int | None = None,
 ) -> None:
     """Export explicitly requested knobs; leave inherited ones alone."""
     if no_cache:
@@ -255,18 +260,20 @@ def _apply_knobs(
         os.environ["REPRO_BATCH_SIZE"] = str(batch_size)
     if engine is not None:
         os.environ["REPRO_ENGINE"] = engine
+    if workers is not None:
+        os.environ["REPRO_WORKERS"] = str(workers)
 
 
 def _suite_worker(
     name: str, batch_size: int | None, no_cache: bool,
-    engine: str | None = None,
+    engine: str | None = None, workers: int | None = None,
 ) -> BenchmarkResults:
     """Compute one benchmark's X-based results in a worker process.
 
     Explicit knobs override the (fork- or spawn-) inherited environment;
     unset knobs fall through to whatever the caller exported.
     """
-    _apply_knobs(batch_size, no_cache, engine)
+    _apply_knobs(batch_size, no_cache, engine, workers)
     return x_based(name)
 
 
@@ -276,6 +283,7 @@ def run_suite(
     batch_size: int | None = None,
     no_cache: bool = False,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> list[BenchmarkResults]:
     """X-based analysis of *names* (default: all 14), fanned out over
     ``jobs`` worker processes.
@@ -285,7 +293,17 @@ def run_suite(
     Each worker fills the shared disk cache, so repeated runs are warm
     regardless of the original fan-out.  Results come back in input
     order; duplicate names are computed once.
+
+    *workers* turns on intra-benchmark parallelism (sharded exploration,
+    threaded Algorithm 2 kernel) **inside** each suite worker.  The two
+    levels compose without oversubscription: the per-benchmark worker
+    count is clamped so ``jobs * workers`` never exceeds the core count
+    (see :func:`repro.parallel.pool.inner_workers`) — with a benchmark-
+    wide fan-out the inner level collapses to serial, and with few jobs
+    on a big host the spare cores go to path-level sharding.
     """
+    from repro.parallel.pool import inner_workers
+
     names = list(names) if names is not None else all_names()
     for name in names:
         get_benchmark(name)  # fail fast on typos before forking workers
@@ -293,9 +311,13 @@ def run_suite(
     if jobs is None:
         jobs = max(1, min(len(unique), os.cpu_count() or 1))
     if jobs <= 1 or len(unique) <= 1:
+        # same core-budget clamp as the fan-out branch: jobs * inner
+        # never exceeds the host (explicit --workers on a small host
+        # degrades to serial rather than oversubscribing)
+        inner = inner_workers(1, workers) if workers is not None else None
         saved = {var: os.environ.get(var) for var in _KNOB_VARS}
         try:
-            _apply_knobs(batch_size, no_cache, engine)
+            _apply_knobs(batch_size, no_cache, engine, inner)
             by_name = {
                 name: x_based(name) for name in unique
             }
@@ -306,10 +328,11 @@ def run_suite(
                 else:
                     os.environ[var] = value
     else:
+        inner = inner_workers(jobs, workers) if workers is not None else None
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
                 name: pool.submit(
-                    _suite_worker, name, batch_size, no_cache, engine
+                    _suite_worker, name, batch_size, no_cache, engine, inner
                 )
                 for name in unique
             }

@@ -7,7 +7,7 @@ budgets tuned to each kernel's branching structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

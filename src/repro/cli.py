@@ -23,8 +23,13 @@ reference`` on the original uint8 evaluator — bit-identical results either
 way (also settable via ``REPRO_ENGINE``).  ``--batch-size N`` settles N
 execution paths in lock-step (1 = one path at a time; default 32 for the
 bitplane engine, 8 for the reference engine, or ``REPRO_BATCH_SIZE``).
-``suite --no-cache`` (or ``REPRO_NO_CACHE=1``) bypasses the versioned
-disk cache.
+``--workers N`` spreads one analysis over N cores — sharded path-queue
+exploration, threaded Algorithm 2 kernel, island-parallel GA — with
+bit-identical results at any count (``0`` = one per core, also
+``REPRO_WORKERS``).  ``suite --no-cache`` (or ``REPRO_NO_CACHE=1``)
+bypasses the versioned disk cache; ``suite`` composes ``--jobs``
+(benchmark fan-out) with ``--workers`` (per-benchmark sharding) without
+oversubscribing the host.
 """
 
 from __future__ import annotations
@@ -55,9 +60,11 @@ def _make_context():
 
 
 def _apply_engine(args: argparse.Namespace) -> None:
-    """Export --engine so every machine built downstream honors it."""
+    """Export --engine/--workers so everything downstream honors them."""
     if getattr(args, "engine", None):
         os.environ["REPRO_ENGINE"] = args.engine
+    if getattr(args, "workers", None) is not None:
+        os.environ["REPRO_WORKERS"] = str(args.workers)
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -68,6 +75,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         cpu, program, model,
         loop_bound=args.loop_bound, vcd_dir=args.vcd_dir,
         batch_size=args.batch_size, engine=args.engine,
+        workers=args.workers,
     )
     print(report.summary())
     print(f"peak power : {report.peak_power_mw:.3f} mW (all inputs)")
@@ -103,7 +111,7 @@ def cmd_coi(args: argparse.Namespace) -> int:
     report = analyze(
         cpu, program, model,
         loop_bound=args.loop_bound, batch_size=args.batch_size,
-        engine=args.engine,
+        engine=args.engine, workers=args.workers,
     )
     reports = cycles_of_interest(
         report.tree, report.peak_power, program, count=args.count
@@ -127,6 +135,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         no_cache=args.no_cache,
         engine=args.engine,
+        workers=args.workers,
     )
     for result in results:
         print(f"{result.name:>10}: peak {result.peak_power_mw:.3f} mW, "
@@ -142,7 +151,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     names = args.benchmarks.split(",") if args.benchmarks else None
     report = run_perf_suite(
-        names, batch_size=args.batch_size, repeats=args.repeats
+        names, batch_size=args.batch_size, repeats=args.repeats,
+        workers=args.workers,
     )
     write_report(report, args.output)
     for row in report["benchmarks"]:
@@ -183,6 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="simulation representation: packed dual-rail bit planes "
                  "(default) or the uint8 reference evaluator; results are "
                  "bit-identical (also $REPRO_ENGINE)",
+        )
+        sub_parser.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="cores per analysis: shard the pending-path queue over N "
+                 "worker processes and thread the Algorithm 2 kernel; "
+                 "bit-identical at any count (0 = one per core, also "
+                 "$REPRO_WORKERS)",
         )
 
     p_analyze = sub.add_parser("analyze", help="X-based analysis of a program")

@@ -179,6 +179,7 @@ def explore(
     max_cycles_per_path: int = 50_000,
     batch_size: int | None = None,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> ExecutionTree:
     """Run Algorithm 1 for *program* on the gate-level *cpu*.
 
@@ -187,8 +188,10 @@ def explore(
     ``None`` (the default) uses :func:`default_batch_size`.  *engine*
     selects the simulation representation: ``"bitplane"`` (packed dual
     rail, the default) or ``"reference"`` (the uint8 oracle); ``None``
-    honors ``REPRO_ENGINE``.  Every combination returns the identical
-    tree, bit for bit.
+    honors ``REPRO_ENGINE``.  *workers* shards the pending-path queue
+    across that many fork-start worker processes (``None`` honors
+    ``REPRO_WORKERS``, ``0`` means one per core, 1 stays in-process).
+    Every combination returns the identical tree, bit for bit.
 
     Returns the annotated execution tree.  Raises
     :class:`PathExplosionError` when the exploration budget is exceeded and
@@ -199,6 +202,16 @@ def explore(
         from repro.sim.bitplane import default_engine
 
         batch_size = default_batch_size(engine or default_engine())
+    from repro.parallel.pool import fork_available, resolve_workers
+
+    workers = resolve_workers(workers)
+    if workers > 1 and fork_available():
+        from repro.parallel.explore import explore_sharded
+
+        return explore_sharded(
+            cpu, program, max_cycles, max_segments, max_cycles_per_path,
+            max(batch_size, 1), engine, workers,
+        )
     if batch_size <= 1:
         return _explore_scalar(
             cpu, program, max_cycles, max_segments, max_cycles_per_path, engine
@@ -314,6 +327,12 @@ def _explore_scalar(
 
 # ----------------------------------------------------------------------
 # Batched engine: drain the pending-path queue B lanes at a time.
+#
+# NOTE: repro.parallel.explore._simulate_chunk mirrors this drain loop
+# (minus the refill/memoization, which stay with the sharding master).
+# Any change to the fork semantics here — the pre-step snapshot, the
+# dispatch-record pop, the memo-key enumeration — must be applied there
+# too; tests/test_parallel.py pins the workers=1 ≡ workers=N equivalence.
 # ----------------------------------------------------------------------
 @dataclass
 class _Node:

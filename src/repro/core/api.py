@@ -59,6 +59,7 @@ def analyze(
     vcd_dir=None,
     batch_size: int | None = None,
     engine: str | None = None,
+    workers: int | None = None,
 ) -> AnalysisReport:
     """Full input-independent peak power and energy analysis.
 
@@ -67,9 +68,15 @@ def analyze(
     time, larger values settle that many execution paths in lock-step.
     *engine* selects the simulation representation — ``"bitplane"``
     (packed dual-rail, the default) or ``"reference"`` (the uint8
-    oracle); ``None`` honors ``REPRO_ENGINE``.  All combinations are
-    bit-identical.
+    oracle); ``None`` honors ``REPRO_ENGINE``.  *workers* spreads one
+    benchmark's analysis over that many cores: exploration shards its
+    pending-path queue across worker processes and the Algorithm 2
+    kernel threads its row chunks (``None`` honors ``REPRO_WORKERS``,
+    ``0`` means one per core).  All combinations are bit-identical.
     """
+    from repro.parallel.pool import resolve_workers
+
+    workers = resolve_workers(workers)
     tree = explore(
         cpu,
         program,
@@ -77,8 +84,11 @@ def analyze(
         max_segments=max_segments,
         batch_size=batch_size,
         engine=engine,
+        workers=workers,
     )
-    peak_power = compute_peak_power(tree, model, vcd_dir=vcd_dir)
+    peak_power = compute_peak_power(
+        tree, model, vcd_dir=vcd_dir, workers=workers
+    )
     peak_energy = compute_peak_energy(tree, peak_power, loop_bound=loop_bound)
     return AnalysisReport(
         program_name=program.name,

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.asm.program import Program
 from repro.power.model import PowerModel, design_tool_rating

@@ -14,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
-import numpy as np
 
 from repro.core.activity import ExecutionTree
 from repro.core.peakpower import PeakPowerResult

@@ -180,18 +180,25 @@ def compute_peak_power(
     per_module: bool = True,
     vcd_dir: str | Path | None = None,
     engine: str = "stacked",
+    workers: int | None = None,
 ) -> PeakPowerResult:
     """Run Algorithm 2 over an activity-annotated execution tree.
 
     *engine* selects ``"stacked"`` (vectorized across segments, the
     default) or ``"scalar"`` (the per-segment reference); both produce
-    bit-identical results.  When *vcd_dir* is given, the even- and
-    odd-maximized activity profiles are written as ``even.vcd`` /
-    ``odd.vcd``, mirroring the paper's flow of handing two VCD files to
-    the power tool.
+    bit-identical results.  *workers* threads the stacked engine's
+    transition-energy kernel over row chunks (``None`` honors
+    ``REPRO_WORKERS``); chunk results are bit-stable by design, so the
+    thread count never changes a float.  When *vcd_dir* is given, the
+    even- and odd-maximized activity profiles are written as
+    ``even.vcd`` / ``odd.vcd``, mirroring the paper's flow of handing
+    two VCD files to the power tool.
     """
+    from repro.parallel.pool import resolve_workers
+
+    workers = resolve_workers(workers)
     if engine == "stacked":
-        return _compute_stacked(tree, model, per_module, vcd_dir)
+        return _compute_stacked(tree, model, per_module, vcd_dir, workers)
     if engine == "scalar":
         return _compute_scalar(tree, model, per_module, vcd_dir)
     raise ValueError(f"unknown peak-power engine {engine!r}")
@@ -317,6 +324,7 @@ def _compute_stacked(
     model: PowerModel,
     per_module: bool,
     vcd_dir: str | Path | None,
+    workers: int = 1,
 ) -> PeakPowerResult:
     flat = tree.flat_trace
     n_cycles = len(flat)
@@ -353,6 +361,7 @@ def _compute_stacked(
             new_cur,
             stacked_mem[target_rows],
             per_module=per_module,
+            workers=workers,
         )
         peak_trace[parity_mask] = power.total_mw
         for name in module_names:

@@ -176,36 +176,51 @@ def _evaluate_population(
         return _evaluate_population(cpu, model, pool, batch_size=1)
 
 
-def generate_stressmark(
-    cpu,
-    model: PowerModel,
-    objective: str = "peak",
-    population: int = 10,
-    generations: int = 6,
-    genome_length: int = 12,
-    seed: int = 42,
-    batch_size: int | None = None,
-) -> Stressmark:
-    """Breed a stressmark targeting ``"peak"`` or ``"average"`` power.
+@dataclass
+class Island:
+    """One GA population plus its private random stream and best-ever.
 
-    *batch_size* selects how many individuals are simulated in lock-step
-    per generation (``1`` = the scalar reference, ``None`` =
-    :func:`repro.core.activity.default_batch_size`); scores — and hence
-    the whole evolution — are identical for every setting.
+    The whole evolution of an island is a function of this state, which
+    is what makes the island model reproducible at any worker count:
+    islands are seeded deterministically, evolved independently between
+    migrations, and migration itself is a synchronized deterministic
+    ring exchange.
     """
-    if objective not in ("peak", "average"):
-        raise ValueError("objective must be 'peak' or 'average'")
-    if batch_size is None:
-        from repro.core.activity import default_batch_size
 
-        batch_size = default_batch_size()
+    rng: np.random.Generator
+    pool: list[list[Gene]]
+    #: best-ever (peak_mw, avg_mw, genome), by the caller's objective
+    best: tuple[float, float, list[Gene]] | None = None
+
+
+def make_island(seed: int, population: int, genome_length: int) -> Island:
+    """A freshly seeded island with a random starting population."""
     rng = np.random.default_rng(seed)
     pool = [
         [_random_gene(rng) for _ in range(genome_length)]
         for _ in range(population)
     ]
-    scored = []
-    best: tuple[float, float, list[Gene]] | None = None
+    return Island(rng=rng, pool=pool)
+
+
+def evolve_island(
+    cpu,
+    model: PowerModel,
+    island: Island,
+    objective: str,
+    generations: int,
+    population: int,
+    genome_length: int,
+    batch_size: int,
+) -> Island:
+    """Advance one island *generations* steps of the GA loop, in place.
+
+    This is the original single-population generation loop verbatim, so
+    ``islands=1`` evolution is bit-identical to the classic GA.
+    """
+    rng = island.rng
+    pool = island.pool
+    best = island.best
     for _generation in range(generations):
         scores = _evaluate_population(cpu, model, pool, batch_size)
         scored = []
@@ -228,6 +243,82 @@ def generate_stressmark(
                     child[position] = _random_gene(rng)
             children.append(child)
         pool = survivors + children
+    island.pool = pool
+    island.best = best
+    return island
+
+
+#: offset between island seeds; any constant works, a prime keeps the
+#: derived streams visibly distinct in logs
+ISLAND_SEED_STRIDE = 9973
+
+
+def generate_stressmark(
+    cpu,
+    model: PowerModel,
+    objective: str = "peak",
+    population: int = 10,
+    generations: int = 6,
+    genome_length: int = 12,
+    seed: int = 42,
+    batch_size: int | None = None,
+    islands: int = 1,
+    migration_interval: int = 2,
+    workers: int | None = None,
+) -> Stressmark:
+    """Breed a stressmark targeting ``"peak"`` or ``"average"`` power.
+
+    *batch_size* selects how many individuals are simulated in lock-step
+    per generation (``1`` = the scalar reference, ``None`` =
+    :func:`repro.core.activity.default_batch_size`); scores — and hence
+    the whole evolution — are identical for every setting.
+
+    *islands* switches to the island model: that many independent
+    populations (seeded ``seed, seed + stride, ...``) evolve in epochs
+    of *migration_interval* generations, exchanging their best-ever
+    genome around a deterministic ring between epochs, and the fittest
+    individual across islands wins.  *workers* spreads the islands over
+    that many fork-start worker processes (``None`` honors
+    ``REPRO_WORKERS``); the evolution is a pure function of the island
+    seeds, so results are identical at **any** worker count.
+    """
+    if objective not in ("peak", "average"):
+        raise ValueError("objective must be 'peak' or 'average'")
+    if islands < 1:
+        raise ValueError(f"islands must be >= 1, got {islands}")
+    if batch_size is None:
+        from repro.core.activity import default_batch_size
+
+        batch_size = default_batch_size()
+
+    if islands == 1:
+        island = make_island(seed, population, genome_length)
+        evolve_island(
+            cpu, model, island, objective, generations,
+            population, genome_length, batch_size,
+        )
+        best = island.best
+    else:
+        from repro.parallel.islands import evolve_archipelago
+
+        states = [
+            make_island(
+                seed + index * ISLAND_SEED_STRIDE, population, genome_length
+            )
+            for index in range(islands)
+        ]
+        states = evolve_archipelago(
+            cpu, model, states, objective, generations, population,
+            genome_length, batch_size, migration_interval, workers,
+        )
+        best = None
+        for island in states:  # first island wins ties: deterministic
+            if island.best is None:
+                continue
+            if best is None or _fitness(island.best, objective) > _fitness(
+                best, objective
+            ):
+                best = island.best
 
     peak, avg, genome = best
     return Stressmark(
@@ -236,3 +327,7 @@ def generate_stressmark(
         avg_power_mw=avg,
         generations=generations,
     )
+
+
+def _fitness(best: tuple[float, float, list[Gene]], objective: str) -> float:
+    return best[0] if objective == "peak" else best[1]

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.asm.disasm import disassemble_at
 from repro.asm.program import Program
 from repro.isa import memmap
 from repro.isa.spec import SR_C, SR_N, SR_V, SR_Z
@@ -231,7 +230,7 @@ def build_ulp430() -> "Ulp430":
         is_bit = nb.and_(fmt_i, nb.eq_const(opcode, 0xB))
         no_writeback = nb.or_(is_cmp, is_bit)
 
-        dst_is_mem = nb.and_(fmt_i, ad_bit)
+        _dst_is_mem = nb.and_(fmt_i, ad_bit)  # reserved decode line
 
         # Constant generator value
         cg_all_ones = nb.and_(src_is_cg2, as_3)
@@ -333,7 +332,7 @@ def build_ulp430() -> "Ulp430":
         effective_addr, _ = nb.ripple_add(ea_base, din_cpu)
 
         dispatch_push = nb.and_n([in_dispatch, operand_ready, is_push])
-        dispatch_rd_pc = nb.or_n(
+        _dispatch_rd_pc = nb.or_n(  # reserved decode line
             [
                 nb.and_(in_dispatch, idx_mode),
                 nb.and_(in_dispatch, imm_mode),
@@ -714,8 +713,13 @@ class Ulp430(object):
         )
 
     def pc_next_unknown(self, machine: Machine) -> bool:
-        """Will the PC load an X at the next clock edge?"""
-        return any(machine.values[d] == X for d in self.nets.pc_d)
+        """Will the PC load an X at the next clock edge?
+
+        Reads the PC D-inputs as a bus through ``peek_bus`` so packed
+        lanes answer from their plane words without unpacking the row.
+        """
+        _value, xmask = machine.peek_bus(self.nets.pc_d)
+        return xmask != 0
 
     def flag_dff_for(self, bit: int) -> int:
         return self.nets.sr_q[bit]
@@ -778,7 +782,7 @@ class Ulp430(object):
         unknown = [
             bit
             for bit in needed_bits
-            if machine.values[self.nets.sr_q[bit]] == X
+            if machine.peek_bus([self.nets.sr_q[bit]])[1]
         ]
         if not unknown:
             raise UnresolvedPCError(

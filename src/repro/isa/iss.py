@@ -15,7 +15,6 @@ from repro.asm.program import Program
 from repro.isa.spec import (
     MODE_INDEXED,
     MODE_INDIRECT,
-    MODE_INDIRECT_INC,
     MODE_REGISTER,
     PC,
     SP,

@@ -1,0 +1,337 @@
+"""Sharded execution-tree exploration (Algorithm 1 across processes).
+
+The pending-path queue of one benchmark's execution tree is drained by a
+pool of **fork-start worker processes**: the master keeps the memoization
+set and the work queue, workers simulate path segments (lock-step on a
+:class:`~repro.sim.batch.BatchMachine`) and ship back each segment's
+records plus its fork edges and the packed snapshot children restart
+from.  Scheduling is pull-based — every worker that finishes a chunk
+immediately receives the next one, and chunk sizes shrink as the queue
+drains — so load rebalances like work stealing without shared-memory
+deques.
+
+Bit identity with the serial engines is structural, not incidental: a
+pending path's entire future is a function of its memoization key, so
+the *set* of simulated segments is scheduling-independent, and
+:func:`repro.core.activity._assemble_tree` replays the scalar engine's
+exact stack discipline over the ``{key: node}`` graph to assign segment
+numbering, parents, memo-hit counts and the flat-trace layout.  Any
+worker count — including 1 — produces the identical
+:class:`~repro.core.activity.ExecutionTree`.
+
+IPC stays small: snapshots ship their behavioral memory as a delta
+against the fork-inherited program image, and (on the bit-plane engine)
+trace records ship as packed plane words that unpack lazily at the trace
+boundary.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any
+
+import numpy as np
+
+from repro.core.activity import (
+    _ROOT_KEY,
+    ExecutionTree,
+    PathExplosionError,
+    _assemble_tree,
+    _memo_key,
+    _Node,
+)
+from repro.parallel.pool import fork_context
+from repro.sim.batch import BatchMachine
+from repro.sim.machine import _MemRequest
+from repro.sim.memory import TernaryMemory
+from repro.sim.trace import CycleRecord
+
+#: fork-inherited worker context: the elaborated CPU, the loaded template
+#: machine, and the base memory image snapshots are delta-encoded against
+_CTX: dict[str, Any] | None = None
+
+#: chunks kept in flight per worker: 2 pipelines dispatch against compute
+#: (a worker grabs its next chunk while the master merges the previous
+#: one) without hoarding queue entries that an idle worker could steal
+_CHUNKS_PER_WORKER = 2
+
+
+# ----------------------------------------------------------------------
+# Snapshot and record marshalling
+# ----------------------------------------------------------------------
+def _pack_snapshot(snap: dict[str, Any], ctx: dict[str, Any]) -> dict[str, Any]:
+    """Machine snapshot -> picklable dict with delta-encoded memory."""
+    memory = snap["memory"]
+    base_words = ctx["base_words"]
+    base_xmask = ctx["base_xmask"]
+    if memory.words is base_words and memory.xmask is base_xmask:
+        diff = None  # copy-on-write chain still shares the base image
+    else:
+        changed = np.flatnonzero(
+            (memory.words != base_words) | (memory.xmask != base_xmask)
+        )
+        diff = (changed, memory.words[changed], memory.xmask[changed])
+    return {
+        "values": np.ascontiguousarray(snap["values"]),
+        "mem_diff": diff,
+        "cycle": snap["cycle"],
+        "dout_value": snap["dout_value"],
+        "dout_xmask": snap["dout_xmask"],
+        "request": vars(snap["request"]).copy(),
+        "prev_active": snap["prev_active"],
+        "forced_inputs": dict(snap["forced_inputs"]),
+        "next_dff_forces": dict(snap["next_dff_forces"]),
+    }
+
+
+def _unpack_snapshot(packed: dict[str, Any], ctx: dict[str, Any]) -> dict[str, Any]:
+    """Rebuild a machine snapshot against the fork-inherited base image."""
+    base_words = ctx["base_words"]
+    base_xmask = ctx["base_xmask"]
+    memory = TernaryMemory.__new__(TernaryMemory)
+    memory.n_words = len(base_words)
+    diff = packed["mem_diff"]
+    if diff is None or len(diff[0]) == 0:
+        # share the base arrays copy-on-write; every holder treats them
+        # as shared, so the image itself is never written
+        memory.words = base_words
+        memory.xmask = base_xmask
+        memory._shared = True
+    else:
+        changed, words, xmask = diff
+        memory.words = base_words.copy()
+        memory.xmask = base_xmask.copy()
+        memory.words[changed] = words
+        memory.xmask[changed] = xmask
+        memory._shared = False
+    memory._digest = None
+    return {
+        "values": packed["values"],
+        "memory": memory,
+        "cycle": packed["cycle"],
+        "dout_value": packed["dout_value"],
+        "dout_xmask": packed["dout_xmask"],
+        "request": _MemRequest(**packed["request"]),
+        "prev_active": packed["prev_active"],
+        "forced_inputs": dict(packed["forced_inputs"]),
+        "next_dff_forces": dict(packed["next_dff_forces"]),
+    }
+
+
+def _pack_node(node: dict[str, Any]) -> dict[str, Any]:
+    """Stack one simulated segment's records into picklable matrices."""
+    records = node.pop("records")
+    node["cycles"] = [r.cycle for r in records]
+    node["mem"] = [(r.mem_reads, r.mem_writes) for r in records]
+    node["annotations"] = [r.annotations for r in records]
+    if records and records[0].value_words is not None:
+        node["value_words"] = np.stack([r.value_words for r in records])
+        node["active_words"] = np.stack([r.active_words for r in records])
+    elif records:
+        node["values"] = np.stack([r.values for r in records])
+        node["active"] = np.stack([r.active for r in records])
+    return node
+
+
+def _unpack_node(packed: dict[str, Any], packing) -> _Node:
+    """Rebuild a :class:`_Node` with per-cycle records on the master."""
+    records: list[CycleRecord] = []
+    value_words = packed.get("value_words")
+    for i, cycle in enumerate(packed["cycles"]):
+        mem_reads, mem_writes = packed["mem"][i]
+        if value_words is not None:
+            record = CycleRecord(
+                cycle=cycle,
+                mem_reads=mem_reads,
+                mem_writes=mem_writes,
+                annotations=packed["annotations"][i],
+                active_words=packed["active_words"][i],
+                value_words=value_words[i],
+                packing=packing,
+            )
+        else:
+            record = CycleRecord(
+                cycle=cycle,
+                values=packed["values"][i],
+                active=packed["active"][i],
+                mem_reads=mem_reads,
+                mem_writes=mem_writes,
+                annotations=packed["annotations"][i],
+            )
+        records.append(record)
+    return _Node(
+        key=packed["key"],
+        records=records,
+        end=packed["end"],
+        forks=packed["forks"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _simulate_chunk(
+    chunk: list[tuple[bytes, dict[str, Any], dict[int, int]]],
+) -> list[dict[str, Any]]:
+    """Simulate a chunk of pending paths to halt/fork, lock-step.
+
+    Runs in a fork-start worker; ``_CTX`` (the elaborated CPU, template
+    machine, and base memory image) is inherited from the parent.  Each
+    pending path becomes one lane; the chunk retires without refill —
+    scheduling stays with the master, which is what keeps the global
+    memoization exact.
+
+    This loop mirrors ``repro.core.activity._explore_batched`` (the
+    pre-step snapshot, the dispatch-record pop, the memo-key
+    enumeration); keep the two in lockstep — the differential layer in
+    ``tests/test_parallel.py`` enforces the equivalence.
+    """
+    ctx = _CTX
+    cpu = ctx["cpu"]
+    machine = ctx["machine"]
+    evaluator = machine.evaluator
+    batch = BatchMachine(
+        machine.netlist,
+        machine.ports,
+        evaluator,
+        len(chunk),
+        annotator=machine.annotator,
+        record_packed=True,
+    )
+    max_cycles_per_path = ctx["max_cycles_per_path"]
+    name = ctx["name"]
+    lane_node: dict[int, dict[str, Any]] = {}
+    for key, packed_snap, forces in chunk:
+        lane = batch.load(_unpack_snapshot(packed_snap, ctx), dict(forces))
+        lane_node[id(lane)] = {
+            "key": key,
+            "records": [],
+            "end": "",
+            "forks": [],
+            "fork_snapshot": None,
+        }
+    out: list[dict[str, Any]] = []
+    while batch.lanes:
+        # Pre-step snapshots: children restart from the state *before*
+        # the X-condition dispatch cycle, exactly like the serial engines.
+        snap_before = {id(lane): batch.snapshot(lane) for lane in batch.lanes}
+        records = batch.step()
+        for lane, record in zip(list(batch.lanes), records):
+            node = lane_node[id(lane)]
+            node["records"].append(record)
+            if len(node["records"]) > max_cycles_per_path:
+                raise PathExplosionError(
+                    f"{name}: path exceeded {max_cycles_per_path} cycles"
+                )
+            view = batch.lane_view(lane)
+            if cpu.halted(view):
+                node["end"] = "halt"
+            elif cpu.pc_next_unknown(view):
+                assignments = cpu.branch_fork_assignments(view)
+                node["records"].pop()
+                node["end"] = "fork"
+                snapshot = snap_before[id(lane)]
+                node["fork_snapshot"] = _pack_snapshot(snapshot, ctx)
+                for assignment in assignments:
+                    child_key = _memo_key(evaluator, snapshot, assignment)
+                    node["forks"].append((assignment, child_key))
+            else:
+                continue
+            batch.retire(lane)
+            out.append(_pack_node(lane_node.pop(id(lane))))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Master side
+# ----------------------------------------------------------------------
+def explore_sharded(
+    cpu,
+    program,
+    max_cycles: int,
+    max_segments: int,
+    max_cycles_per_path: int,
+    batch_size: int,
+    engine: str | None,
+    workers: int,
+) -> ExecutionTree:
+    """Run Algorithm 1 with the pending-path queue sharded over *workers*.
+
+    Returns the identical tree as
+    :func:`repro.core.activity.explore` at any worker count.  Exploration
+    budgets are enforced globally on the master (total cycles, segment
+    count) and per path in the workers; an exhausted budget raises
+    :class:`~repro.core.activity.PathExplosionError`, though — unlike the
+    serial engines — the raise may come after more segments have been
+    simulated, since several are in flight at once.
+    """
+    global _CTX
+    machine = cpu.make_machine(program, symbolic_inputs=True, engine=engine)
+    evaluator = machine.evaluator
+    packing = getattr(evaluator, "program", None)
+    ctx = {
+        "cpu": cpu,
+        "machine": machine,
+        "name": program.name,
+        "max_cycles_per_path": max_cycles_per_path,
+        "base_words": machine.memory.words,
+        "base_xmask": machine.memory.xmask,
+    }
+    root = _pack_snapshot(machine.snapshot(), ctx)
+    nodes: dict[bytes, _Node] = {}
+    pending: list[tuple[bytes, dict[str, Any], dict[int, int]]] = [
+        (_ROOT_KEY, root, {})
+    ]
+    seen: set[bytes] = {_ROOT_KEY}
+    total_cycles = 0
+    max_in_flight = workers * _CHUNKS_PER_WORKER
+    _CTX = ctx
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=fork_context()
+        ) as pool:
+            futures: set = set()
+
+            def dispatch() -> None:
+                # Adaptive chunking: split the queue across every in-flight
+                # slot, never exceeding the lock-step batch width.  Deep
+                # queues amortize IPC over big chunks; shallow queues fall
+                # back to single-path chunks so no worker sits idle while
+                # another holds the only work.
+                while pending and len(futures) < max_in_flight:
+                    per_slot = -(-len(pending) // max_in_flight)
+                    size = max(1, min(batch_size, per_slot))
+                    take = min(size, len(pending))
+                    chunk = [pending.pop() for _ in range(take)]
+                    futures.add(pool.submit(_simulate_chunk, chunk))
+
+            def merge(packed_node: dict[str, Any]) -> None:
+                nonlocal total_cycles
+                if len(nodes) >= max_segments:
+                    raise PathExplosionError(
+                        f"{program.name}: more than {max_segments} "
+                        "path segments"
+                    )
+                node = _unpack_node(packed_node, packing)
+                nodes[node.key] = node
+                total_cycles += len(node.records)
+                if total_cycles > max_cycles:
+                    raise PathExplosionError(
+                        f"{program.name}: exceeded {max_cycles} total cycles"
+                    )
+                snapshot = packed_node["fork_snapshot"]
+                for assignment, child_key in node.forks:
+                    if child_key not in seen:
+                        seen.add(child_key)
+                        pending.append((child_key, snapshot, assignment))
+
+            dispatch()
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    for packed_node in future.result():
+                        merge(packed_node)
+                dispatch()
+    finally:
+        _CTX = None
+    return _assemble_tree(nodes, machine.netlist.n_nets, packing=packing)

@@ -1,0 +1,70 @@
+"""Worker-count resolution and process-pool plumbing.
+
+One knob drives every parallel component: ``workers``, resolved from the
+explicit argument, then the ``REPRO_WORKERS`` environment variable, then
+the serial default of 1.  ``workers=0`` (or ``REPRO_WORKERS=0``) means
+"one per core".
+
+Process pools use the **fork** start method so workers inherit the
+elaborated CPU, the compiled evaluators, and the loaded program from the
+parent for free — no per-worker elaboration, no pickling of netlists.
+On hosts without fork (or inside a daemonic worker), every consumer
+degrades to its serial path; results are identical either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+#: serial default when neither ``workers=`` nor ``REPRO_WORKERS`` is set
+DEFAULT_WORKERS = 1
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve a worker count: explicit arg > ``REPRO_WORKERS`` > 1.
+
+    ``0`` (either source) resolves to the core count.  Negative counts
+    are rejected.
+    """
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "")
+        if not raw.strip():
+            return DEFAULT_WORKERS
+        try:
+            workers = int(raw)
+        except ValueError:
+            message = f"REPRO_WORKERS must be an integer, got {raw!r}"
+            raise ValueError(message) from None
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def inner_workers(outer_jobs: int, workers: int | None = None) -> int:
+    """Per-task worker count under an *outer_jobs*-wide process fan-out.
+
+    Composes benchmark-level parallelism (``bench.runner.run_suite
+    --jobs``) with path-level sharding without oversubscribing: the
+    product ``outer_jobs * inner`` never exceeds the core count.  With
+    more outer jobs than cores this resolves to 1 (serial inner), which
+    is also what keeps nested pools off single-core hosts.
+    """
+    requested = resolve_workers(workers)
+    cores = os.cpu_count() or 1
+    return max(1, min(requested, cores // max(1, outer_jobs)))
+
+
+def fork_available() -> bool:
+    """True when this process may create fork-start worker processes."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False
+    # Daemonic workers (some executor configurations) cannot fork children.
+    return not multiprocessing.current_process().daemon
+
+
+def fork_context():
+    """The fork multiprocessing context every repro pool uses."""
+    return multiprocessing.get_context("fork")

@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cells import CellLibrary
-from repro.logic import X
 from repro.netlist.core import Netlist
 
 #: Per-module transition-energy scaling, matched by the longest module-path
@@ -263,6 +262,7 @@ class PowerModel:
         values_matrix: np.ndarray,
         mem_accesses: np.ndarray | None = None,
         per_module: bool = False,
+        workers: int = 1,
     ) -> PowerTrace:
         """Power trace for a fully (or partially) resolved value matrix.
 
@@ -270,15 +270,17 @@ class PowerModel:
         energy — conservative for the few never-initialized nets of a
         concrete run; the symbolic flows resolve Xs before calling this.
         Accepts arbitrarily long traces: the transition-energy matrix is
-        reduced in bounded row chunks, never materialized whole.
+        reduced in bounded row chunks, never materialized whole.  With
+        ``workers > 1`` the chunks run on the shared kernel thread pool
+        (einsum releases the GIL; every chunk writes a disjoint row
+        range, so results are bit-identical at any worker count).
         """
         n_rows = len(values_matrix)
         totals = np.zeros(n_rows)
         module_names = list(self.module_masks) if per_module else []
         module_fj = {name: np.zeros(n_rows) for name in module_names}
-        chunk = self.TRACE_CHUNK_ROWS
-        for start in range(1, n_rows, chunk):
-            stop = min(start + chunk, n_rows)
+
+        def price(start: int, stop: int) -> None:
             # Row start-1 supplies each chunk row's previous values.
             chunk_totals, chunk_modules = self._transition_chunk(
                 values_matrix[start - 1 : stop - 1],
@@ -288,6 +290,8 @@ class PowerModel:
             totals[start:stop] = chunk_totals
             for name in module_names:
                 module_fj[name][start:stop] = chunk_modules[name]
+
+        self._map_chunks(price, 1, n_rows, workers)
         return self._assemble_power(totals, module_fj, mem_accesses, per_module)
 
     def transition_power(
@@ -296,6 +300,7 @@ class PowerModel:
         cur_rows: np.ndarray,
         mem_accesses: np.ndarray | None = None,
         per_module: bool = False,
+        workers: int = 1,
     ) -> PowerTrace:
         """Power of explicit ``(previous, current)`` value-row pairs.
 
@@ -304,22 +309,36 @@ class PowerModel:
         :meth:`trace_power`, but over an arbitrary subset of a trace's
         rows.  The stacked Algorithm 2 engine uses this to evaluate each
         parity profile only at the rows the peak trace actually takes
-        from it, halving the energy-kernel work.
+        from it, halving the energy-kernel work.  ``workers`` threads the
+        chunk loop exactly like :meth:`trace_power`.
         """
         n_rows = len(cur_rows)
         totals = np.zeros(n_rows)
         module_names = list(self.module_masks) if per_module else []
         module_fj = {name: np.zeros(n_rows) for name in module_names}
-        chunk = self.TRACE_CHUNK_ROWS
-        for start in range(0, n_rows, chunk):
-            stop = min(start + chunk, n_rows)
+
+        def price(start: int, stop: int) -> None:
             chunk_totals, chunk_modules = self._transition_chunk(
                 prev_rows[start:stop], cur_rows[start:stop], module_names
             )
             totals[start:stop] = chunk_totals
             for name in module_names:
                 module_fj[name][start:stop] = chunk_modules[name]
+
+        self._map_chunks(price, 0, n_rows, workers)
         return self._assemble_power(totals, module_fj, mem_accesses, per_module)
+
+    def _map_chunks(self, price, first_row: int, n_rows: int, workers: int) -> None:
+        """Run *price* over TRACE_CHUNK_ROWS-sized spans, threaded when
+        asked; chunking is row-wise so the split never changes results."""
+        from repro.parallel.kernel import map_spans
+
+        chunk = self.TRACE_CHUNK_ROWS
+        spans = [
+            (start, min(start + chunk, n_rows))
+            for start in range(first_row, n_rows, chunk)
+        ]
+        map_spans(workers, spans, price)
 
 
 def design_tool_rating(

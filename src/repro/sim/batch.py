@@ -31,13 +31,16 @@ from repro.netlist.core import Netlist
 from repro.sim.evaluator import LevelizedEvaluator
 from repro.sim.machine import (
     MemoryPorts,
+    PortSpecs,
     _MemRequest,
     compile_bus_spec,
     force_bus,
     force_bus_planes,
     force_inputs_packed,
     read_bus,
+    read_bus_planes,
     sample_memory_control,
+    sample_memory_control_packed,
     serve_memory_read,
 )
 from repro.sim.trace import CycleRecord, Trace
@@ -96,13 +99,25 @@ class LaneView:
     def values(self) -> np.ndarray:
         batch = self._batch
         if batch.packed:
-            # read-only: writes here would bypass the packed planes
-            row = batch._values_cache[self._lane.row][:]
+            if batch.record_packed:
+                # packed-record mode keeps no unpacked cache; unpack just
+                # this lane's row on the rare direct-row access
+                row = batch.evaluator.unpack_values(
+                    batch.planes[self._lane.row]
+                )
+            else:
+                # read-only: writes here would bypass the packed planes
+                row = batch._values_cache[self._lane.row][:]
             row.setflags(write=False)
             return row
         return batch.values[self._lane.row]
 
     def peek_bus(self, nets: list[int]) -> tuple[int, int]:
+        batch = self._batch
+        if batch.packed:
+            return read_bus_planes(
+                batch.planes[self._lane.row], batch._peek_spec(nets)
+            )
         return read_bus(self.values, nets)
 
 
@@ -116,6 +131,7 @@ class BatchMachine:
         evaluator: LevelizedEvaluator,
         batch_size: int,
         annotator: Callable | None = None,
+        record_packed: bool = False,
     ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -123,18 +139,27 @@ class BatchMachine:
         self.ports = ports
         self.evaluator = evaluator
         self.packed = bool(getattr(evaluator, "packed", False))
+        #: emit packed records (value_words/active_words, lazily unpacked
+        #: at the trace boundary) instead of unpacking every lane row per
+        #: cycle — the fast path for concrete runs, whose per-cycle probes
+        #: all read compiled bus specs straight from the planes
+        self.record_packed = record_packed and self.packed
         self.batch_size = batch_size
         self.annotator = annotator
         if self.packed:
             #: (B, 3, n_words) uint64 P/N/A planes, one row per lane slot
             self.planes = evaluator.fresh_planes(batch=batch_size)
-            self._values_cache = np.zeros(
-                (batch_size, netlist.n_nets), dtype=np.uint8
-            )
-            self._active_cache = np.zeros(
-                (batch_size, netlist.n_nets), dtype=bool
-            )
             self._dout_spec = compile_bus_spec(evaluator.program, ports.dout)
+            self._peek_specs: dict[tuple[int, ...], list[tuple]] = {}
+            if self.record_packed:
+                self._port_specs = PortSpecs.compile(evaluator.program, ports)
+            else:
+                self._values_cache = np.zeros(
+                    (batch_size, netlist.n_nets), dtype=np.uint8
+                )
+                self._active_cache = np.zeros(
+                    (batch_size, netlist.n_nets), dtype=bool
+                )
         else:
             self.values = evaluator.fresh_values(batch=batch_size)
             self._prev_active = np.zeros(
@@ -144,6 +169,16 @@ class BatchMachine:
         self._dff_pos = {
             int(net): pos for pos, net in enumerate(evaluator.dff_out)
         }
+
+    def _peek_spec(self, nets: list[int]) -> list[tuple]:
+        """Compiled packed bus spec for *nets*, cached per net tuple."""
+        key = tuple(nets)
+        spec = self._peek_specs.get(key)
+        if spec is None:
+            spec = self._peek_specs[key] = compile_bus_spec(
+                self.evaluator.program, nets
+            )
+        return spec
 
     # ------------------------------------------------------------------
     # Lane management
@@ -164,12 +199,13 @@ class BatchMachine:
         self.lanes.append(lane)
         if self.packed:
             self.planes[lane.row] = snapshot["values"]
-            self._values_cache[lane.row] = self.evaluator.unpack_values(
-                snapshot["values"]
-            )
-            self._active_cache[lane.row] = self.evaluator.unpack_active(
-                snapshot["values"]
-            )
+            if not self.record_packed:
+                self._values_cache[lane.row] = self.evaluator.unpack_values(
+                    snapshot["values"]
+                )
+                self._active_cache[lane.row] = self.evaluator.unpack_active(
+                    snapshot["values"]
+                )
         else:
             self.values[lane.row] = snapshot["values"]
             self._prev_active[lane.row] = snapshot["prev_active"]
@@ -181,8 +217,9 @@ class BatchMachine:
         if last is not lane:
             if self.packed:
                 self.planes[lane.row] = self.planes[last.row]
-                self._values_cache[lane.row] = self._values_cache[last.row]
-                self._active_cache[lane.row] = self._active_cache[last.row]
+                if not self.record_packed:
+                    self._values_cache[lane.row] = self._values_cache[last.row]
+                    self._active_cache[lane.row] = self._active_cache[last.row]
             else:
                 self.values[lane.row] = self.values[last.row]
                 self._prev_active[lane.row] = self._prev_active[last.row]
@@ -333,6 +370,8 @@ class BatchMachine:
             )
             force_inputs_packed(row, lane, evaluator.program)
         evaluator.settle_and_mark(planes)
+        if self.record_packed:
+            return self._packed_records(mem_counts)
         live_planes = self.planes[:n_live]
         self._values_cache[:n_live] = evaluator.unpack_values(live_planes)
         self._active_cache[:n_live] = evaluator.unpack_active(live_planes)
@@ -354,6 +393,42 @@ class BatchMachine:
                         else {}
                     ),
                     active_words=active_words[lane.row].copy(),
+                )
+            )
+            lane.cycle += 1
+        return records
+
+    def _packed_records(
+        self, mem_counts: list[tuple[float, float]]
+    ) -> list[CycleRecord]:
+        """Build one packed record per lane without unpacking any row.
+
+        The memory-port sampling and any annotator probes read compiled
+        bus specs straight from the plane words; records carry the packed
+        P/N value planes and activity words plus the ``packing`` needed to
+        unpack them lazily at the trace boundary.
+        """
+        evaluator = self.evaluator
+        program = evaluator.program
+        records: list[CycleRecord] = []
+        for lane, (mem_reads, mem_writes) in zip(self.lanes, mem_counts):
+            row_planes = self.planes[lane.row]
+            sample_memory_control_packed(lane, row_planes, self._port_specs)
+            records.append(
+                CycleRecord(
+                    cycle=lane.cycle,
+                    mem_reads=mem_reads,
+                    mem_writes=mem_writes,
+                    annotations=(
+                        self.annotator(self.lane_view(lane))
+                        if self.annotator
+                        else {}
+                    ),
+                    # active_words is freshly allocated by the mask AND;
+                    # the value planes are a view and must be copied
+                    active_words=evaluator.active_words(row_planes),
+                    value_words=row_planes[0:2].copy(),
+                    packing=program,
                 )
             )
             lane.cycle += 1
@@ -396,8 +471,14 @@ def run_batch_to_halt(
         template.evaluator,
         max(1, min(batch_size, len(machines))),
         annotator=template.annotator,
+        # concrete runs probe halt/PC through compiled packed bus specs,
+        # so lanes never unpack per cycle; traces unpack in bulk on demand
+        record_packed=True,
     )
     traces = [Trace(template.netlist.n_nets) for _ in machines]
+    if batch.record_packed:
+        for trace in traces:
+            trace.packing = template.evaluator.program
     cycles: list[int] = [0] * len(machines)
     budget: dict[int, int] = {}  # id(lane) -> remaining step budget
     lane_index: dict[int, int] = {}

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.logic import X
 from repro.logic.tables import BINARY_TABLES, BUF_TABLE, MUX_TABLE, NOT_TABLE
-from repro.netlist.core import BINARY_KINDS, Netlist
+from repro.netlist.core import Netlist
 
 
 class _LevelGroup:

@@ -15,7 +15,7 @@ at input-dependent branches, and hashable so visited states are memoized.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
@@ -126,6 +126,58 @@ def compile_bus_spec(program, nets: list[int]) -> list[tuple]:
     return [(w, e[0], tuple(e[1])) for w, e in sorted(by_word.items())]
 
 
+def read_bus_planes(planes: np.ndarray, spec: list[tuple]) -> tuple[int, int]:
+    """Decode a compiled bus spec from packed planes into (value, xmask).
+
+    The read mirror of :func:`force_bus_planes`: a handful of whole-word
+    plane reads and Python-int bit tests, so probing a 16-bit bus never
+    unpacks the full value row.  Semantics match :func:`read_bus` on the
+    unpacked row exactly (P&N -> X, P only -> 1, N only -> 0).
+    """
+    value = 0
+    xmask = 0
+    for word, _all_bits, bits in spec:
+        p = int(planes[P_PLANE, word])
+        n = int(planes[N_PLANE, word])
+        for position, bit in bits:
+            if p & bit:
+                if n & bit:
+                    xmask |= 1 << position
+                else:
+                    value |= 1 << position
+    return value, xmask
+
+
+def read_trit_planes(planes: np.ndarray, spec: list[tuple]) -> int:
+    """Read a single-net compiled spec as a trit (0/1/X)."""
+    value, xmask = read_bus_planes(planes, spec)
+    return X if xmask else value
+
+
+@dataclass
+class PortSpecs:
+    """Compiled packed bus specs for every memory-port probe.
+
+    Built once per :class:`~repro.sim.batch.BatchMachine` in packed-record
+    mode so :func:`sample_memory_control_packed` can latch the memory
+    request with word reads instead of unpacking the whole value row.
+    """
+
+    addr: list[tuple]
+    din: list[tuple]
+    en: list[tuple]
+    we: list[tuple]
+
+    @classmethod
+    def compile(cls, program, ports: "MemoryPorts") -> "PortSpecs":
+        return cls(
+            addr=compile_bus_spec(program, ports.addr),
+            din=compile_bus_spec(program, ports.din),
+            en=compile_bus_spec(program, [ports.en]),
+            we=compile_bus_spec(program, [ports.we]),
+        )
+
+
 def force_inputs_packed(planes: np.ndarray, state, program) -> None:
     """Apply *state*'s ``forced_inputs`` to one packed (3, n_words) row.
 
@@ -179,6 +231,25 @@ def sample_memory_control(state, values: np.ndarray, ports: "MemoryPorts") -> No
     request.en = int(values[ports.en])
     request.we = int(values[ports.we])
     request.din_value, request.din_xmask = read_bus(values, ports.din)
+    state._request = request
+    commit_memory_write(state, request)
+
+
+def sample_memory_control_packed(
+    state, planes: np.ndarray, specs: PortSpecs
+) -> None:
+    """Latch the memory request straight from settled packed planes.
+
+    Bit-identical to :func:`sample_memory_control` on the unpacked row —
+    the packed-record fast path of concrete lock-step batches.
+    """
+    addr_value, addr_xmask = read_bus_planes(planes, specs.addr)
+    request = _MemRequest()
+    request.addr_known = addr_xmask == 0
+    request.addr = addr_value if request.addr_known else None
+    request.en = read_trit_planes(planes, specs.en)
+    request.we = read_trit_planes(planes, specs.we)
+    request.din_value, request.din_xmask = read_bus_planes(planes, specs.din)
     state._request = request
     commit_memory_write(state, request)
 

@@ -5,31 +5,95 @@ every simulated cycle it stores the settled net values (with Xs), the
 activity flags from the paper's marking rule, and the behavioral memory
 access energy.  Annotations (program counter, decoded instruction, frontend
 state) are attached by the CPU wrapper for the COI analysis of §3.5.
+
+Records come in two layouts:
+
+* **unpacked** — ``values`` (uint8 trits) and ``active`` (bool) rows in
+  netlist net order, as the scalar machine produces them, and
+* **packed** — dual-rail ``value_words`` (``(2, n_words)`` uint64 P/N
+  planes) plus ``active_words``, as the bit-plane engine's concrete
+  batches and the sharded explorer produce them.  Packed records unpack
+  **lazily** (per record on attribute access, or in one bulk
+  ``unpack_trits`` call for whole-trace matrices), so a concrete run to
+  halt never pays a per-cycle unpack for rows nobody reads per cycle.
+
+Both layouts expose the same ``values``/``active`` attributes and produce
+bit-identical matrices; consumers never need to know which one they got.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
 
-@dataclass
 class CycleRecord:
-    """Everything captured about one simulated clock cycle."""
+    """Everything captured about one simulated clock cycle.
 
-    cycle: int
-    values: np.ndarray
-    active: np.ndarray
-    #: behavioral memory accesses this cycle (1.0 also for may-access
-    #: under an X enable — conservative, as peak analysis requires)
-    mem_reads: float
-    mem_writes: float
-    annotations: dict[str, Any] = field(default_factory=dict)
-    #: packed uint64 activity words (bitplane engine only; already masked
-    #: to real nets) — lets whole-trace activity reductions stay packed
-    active_words: np.ndarray | None = None
+    ``values``/``active`` unpack lazily from ``value_words`` /
+    ``active_words`` (via ``packing``) when the record was captured
+    packed; the unpacked rows are cached on first access.
+    """
+
+    __slots__ = (
+        "cycle",
+        "_values",
+        "_active",
+        "mem_reads",
+        "mem_writes",
+        "annotations",
+        "active_words",
+        "value_words",
+        "packing",
+    )
+
+    def __init__(
+        self,
+        cycle: int,
+        values: np.ndarray | None = None,
+        active: np.ndarray | None = None,
+        mem_reads: float = 0.0,
+        mem_writes: float = 0.0,
+        annotations: dict[str, Any] | None = None,
+        active_words: np.ndarray | None = None,
+        value_words: np.ndarray | None = None,
+        packing=None,
+    ):
+        self.cycle = cycle
+        self._values = values
+        self._active = active
+        #: behavioral memory accesses this cycle (1.0 also for may-access
+        #: under an X enable — conservative, as peak analysis requires)
+        self.mem_reads = mem_reads
+        self.mem_writes = mem_writes
+        self.annotations = {} if annotations is None else annotations
+        #: packed uint64 activity words (bitplane engine only; already
+        #: masked to real nets) — whole-trace activity reductions stay packed
+        self.active_words = active_words
+        #: packed (2, n_words) P/N value planes (packed-record mode only)
+        self.value_words = value_words
+        #: the :class:`~repro.netlist.program.NetlistProgram` whose bit
+        #: order the packed words use; required to unpack lazily
+        self.packing = packing
+
+    @property
+    def values(self) -> np.ndarray:
+        """uint8 trit row in net order, unpacked on demand and cached."""
+        if self._values is None and self.value_words is not None:
+            row = self.packing.unpack_trits(
+                self.value_words[0], self.value_words[1]
+            )
+            row.setflags(write=False)
+            self._values = row
+        return self._values
+
+    @property
+    def active(self) -> np.ndarray:
+        """bool activity row in net order, unpacked on demand and cached."""
+        if self._active is None and self.active_words is not None:
+            self._active = self.packing.unpack_bits(self.active_words)
+        return self._active
 
 
 class Trace:
@@ -39,7 +103,7 @@ class Trace:
         self.n_nets = n_nets
         self.records: list[CycleRecord] = []
         #: the :class:`~repro.netlist.program.NetlistProgram` whose bit
-        #: order the records' ``active_words`` use (bitplane traces only)
+        #: order the records' packed words use (bitplane traces only)
         self.packing = None
 
     def __len__(self) -> int:
@@ -55,11 +119,29 @@ class Trace:
         self.records.extend(other.records)
 
     def values_matrix(self) -> np.ndarray:
-        """(n_cycles, n_nets) uint8 matrix of settled values (0/1/X)."""
+        """(n_cycles, n_nets) uint8 matrix of settled values (0/1/X).
+
+        Packed traces unpack in **one** vectorized call over the stacked
+        plane words instead of once per cycle — this is what lets packed
+        concrete runs defer all unpacking to the power-model boundary.
+        """
+        if self.packing is not None and self.records and all(
+            r._values is None and r.value_words is not None
+            for r in self.records
+        ):
+            words = np.stack([r.value_words for r in self.records])
+            return self.packing.unpack_trits(words[:, 0], words[:, 1])
         return np.stack([r.values for r in self.records])
 
     def active_matrix(self) -> np.ndarray:
         """(n_cycles, n_nets) bool matrix of the activity flags."""
+        if self.packing is not None and self.records and all(
+            r._active is None and r.active_words is not None
+            for r in self.records
+        ):
+            return self.packing.unpack_bits(
+                np.stack([r.active_words for r in self.records])
+            )
         return np.stack([r.active for r in self.records])
 
     def mem_accesses(self) -> np.ndarray:

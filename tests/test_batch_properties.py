@@ -39,7 +39,8 @@ def random_netlist(rng: np.random.Generator, n_inputs: int, n_gates: int):
     kinds = list(SCALAR_OPS) + list(UNARY_OPS) + ["MUX"]
     for _ in range(n_gates):
         kind = kinds[rng.integers(0, len(kinds))]
-        pick = lambda: nets[rng.integers(0, len(nets))]
+        def pick():
+            return nets[rng.integers(0, len(nets))]
         if kind in UNARY_OPS:
             net = nb.not_(pick()) if kind == "NOT" else nb.buf(pick())
         elif kind == "MUX":

@@ -1,0 +1,116 @@
+"""The perf-regression gate: thresholds, noise floors, schema drift."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import compare_reports, main
+
+
+def _report(bitplane_s, stacked_s=0.5, stress_s=1.0, name="mult"):
+    return {
+        "schema": 2,
+        "benchmarks": [
+            {
+                "name": name,
+                "explore": {"bitplane_s": bitplane_s, "batched_s": 2.0},
+                "peakpower": {"stacked_s": stacked_s},
+                "peakenergy": {"s": 0.001},
+                "baselines": {"batched_s": 1.0},
+            }
+        ],
+        "stressmark": {"batched_s": stress_s},
+    }
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        failures, n_compared = compare_reports(_report(1.0), _report(1.0))
+        assert failures == []
+        assert n_compared > 0
+
+    def test_slowdown_over_threshold_fails(self):
+        failures, _n = compare_reports(_report(3.0), _report(1.0), threshold=2.5)
+        assert len(failures) == 1
+        assert "mult.explore.bitplane_s" in failures[0]
+
+    def test_slowdown_under_threshold_passes(self):
+        failures, _n = compare_reports(_report(2.4), _report(1.0), threshold=2.5)
+        assert failures == []
+
+    def test_stressmark_gated(self):
+        failures, _n = compare_reports(
+            _report(1.0, stress_s=9.0), _report(1.0, stress_s=1.0)
+        )
+        assert any("stressmark" in failure for failure in failures)
+
+    def test_noise_floor_ignored(self):
+        """peakenergy ~1ms entries never trip the gate."""
+        current = _report(1.0)
+        current["benchmarks"][0]["peakenergy"]["s"] = 0.04
+        assert compare_reports(current, _report(1.0))[0] == []
+
+    def test_missing_benchmark_skipped(self):
+        current = _report(5.0, name="onlyInCurrent")
+        failures, n_compared = compare_reports(
+            current, _report(1.0, name="mult")
+        )
+        assert failures == []
+        assert n_compared == 1  # only the stressmark entry overlaps
+
+    def test_missing_phase_skipped(self):
+        current = _report(1.0)
+        baseline = _report(1.0)
+        del baseline["benchmarks"][0]["peakpower"]
+        current["benchmarks"][0]["peakpower"]["stacked_s"] = 99.0
+        assert compare_reports(current, baseline)[0] == []
+
+
+class TestCli:
+    def _write(self, tmp_path, name, report):
+        path = tmp_path / name
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        current = self._write(tmp_path, "current.json", _report(1.0))
+        baseline = self._write(tmp_path, "baseline.json", _report(1.0))
+        assert main([current, baseline]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        current = self._write(tmp_path, "current.json", _report(9.0))
+        baseline = self._write(tmp_path, "baseline.json", _report(1.0))
+        assert main([current, baseline]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path):
+        current = self._write(tmp_path, "current.json", _report(3.0))
+        baseline = self._write(tmp_path, "baseline.json", _report(1.0))
+        assert main([current, baseline, "--threshold", "3.5"]) == 0
+        assert main([current, baseline, "--threshold", "2.0"]) == 1
+
+    def test_zero_overlap_fails_cli(self, tmp_path, capsys):
+        """Schema drift (no comparable phases) must fail, not no-op."""
+        current = self._write(tmp_path, "current.json", _report(1.0, name="a"))
+        baseline = self._write(
+            tmp_path, "baseline.json", {"benchmarks": []}
+        )
+        assert main([current, baseline]) == 1
+        assert "no comparable" in capsys.readouterr().out
+
+    def test_real_baseline_compares_to_itself(self):
+        """The committed BENCH_suite.json passes against itself."""
+        from pathlib import Path
+
+        baseline = json.loads(
+            (Path(__file__).parent.parent / "BENCH_suite.json").read_text()
+        )
+        failures, n_compared = compare_reports(baseline, baseline)
+        assert failures == []
+        assert n_compared > 0
+
+
+@pytest.mark.parametrize("bad", [{}, {"benchmarks": []}])
+def test_empty_reports_compare_empty(bad):
+    assert compare_reports(bad, bad) == ([], 0)

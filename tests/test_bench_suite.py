@@ -2,7 +2,6 @@
 computes what it claims to compute (checked against Python reference
 implementations through the ISS)."""
 
-import numpy as np
 import pytest
 
 from repro.bench import ALL_BENCHMARKS, get_benchmark

@@ -1,6 +1,5 @@
 """COI analysis (§3.5) and validation-plumbing (§3.4) unit tests."""
 
-import numpy as np
 import pytest
 
 from repro.asm import assemble

@@ -7,7 +7,7 @@ from repro.asm import assemble
 from repro.cells import SG65
 from repro.core import analyze, explore
 from repro.core.activity import PathExplosionError
-from repro.core.peakenergy import UnboundedEnergyError, compute_peak_energy
+from repro.core.peakenergy import compute_peak_energy
 from repro.core.peakpower import compute_peak_power, maximize_parity
 from repro.cpu import UnresolvedPCError
 from repro.logic import X

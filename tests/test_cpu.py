@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 
 from repro.asm import assemble
 from repro.isa import InstructionSetSimulator
-from repro.isa.memmap import P1OUT, RAM_START, RESLO, RESHI
+from repro.isa.memmap import RAM_START
 from repro.isa.spec import SR_C, SR_N, SR_V, SR_Z
 
 HEADER = """

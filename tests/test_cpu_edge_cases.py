@@ -1,6 +1,5 @@
 """Edge-case differential tests: unusual but legal instruction forms."""
 
-import pytest
 
 from tests.test_cpu import assert_state_matches, run_both
 

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.logic import ONE, X, ZERO
+from repro.logic import ONE
 from repro.netlist import NetlistBuilder, NetlistError, parse_verilog, write_verilog
 from repro.sim import LevelizedEvaluator
 

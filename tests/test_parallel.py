@@ -1,0 +1,333 @@
+"""Worker-count invariance: N cores must never change a bit.
+
+Pins the multi-core execution layer to the serial engines:
+
+* sharded exploration (``workers>1``) produces the identical
+  :class:`ExecutionTree` — and identical golden analysis numbers — as
+  the in-process engine on several multi-segment benchmarks,
+* the canonical replay merge is order-independent (the work-stealing
+  property: whatever order segments complete in, the assembled tree is
+  the same),
+* the island-model GA is deterministic across worker counts,
+* the threaded Algorithm 2 kernel is bit-stable at any thread count,
+* concrete packed batches (``run_batch_to_halt``) skip per-cycle
+  unpacking yet stay record-for-record identical.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.suite import get_benchmark
+from repro.cells import SG65
+from repro.core.activity import _ROOT_KEY, _assemble_tree, _Node, explore
+from repro.core.peakenergy import compute_peak_energy
+from repro.core.peakpower import compute_peak_power
+from repro.core.stressmark import generate_stressmark
+from repro.parallel.pool import (
+    fork_available,
+    inner_workers,
+    resolve_workers,
+)
+from repro.power.model import PowerModel
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_suite.json").read_text()
+)
+
+REL = 1e-9
+
+#: multi-segment kernels small enough to explore twice per test run
+INVARIANCE_BENCHMARKS = ("mult", "binSearch", "div", "rle", "PI")
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+def assert_trees_identical(reference, other):
+    assert len(other.segments) == len(reference.segments)
+    assert other.n_memo_hits == reference.n_memo_hits
+    for ours, ref in zip(other.segments, reference.segments):
+        assert ours.index == ref.index
+        assert ours.parent == ref.parent
+        assert ours.flat_start == ref.flat_start
+        assert ours.n_cycles == ref.n_cycles
+        assert ours.end == ref.end
+        assert [(f.assignment, f.target) for f in ours.forks] == [
+            (f.assignment, f.target) for f in ref.forks
+        ]
+    assert len(other.flat_trace) == len(reference.flat_trace)
+    assert np.array_equal(
+        other.flat_trace.values_matrix(),
+        reference.flat_trace.values_matrix(),
+    )
+    assert np.array_equal(
+        other.flat_trace.active_matrix(),
+        reference.flat_trace.active_matrix(),
+    )
+    assert np.array_equal(
+        other.flat_trace.mem_accesses(),
+        reference.flat_trace.mem_accesses(),
+    )
+    for ours, ref in zip(
+        other.flat_trace.records, reference.flat_trace.records
+    ):
+        assert ours.cycle == ref.cycle
+        assert ours.annotations == ref.annotations
+
+
+@pytest.fixture(scope="module")
+def model(cpu):
+    return PowerModel(cpu.netlist, SG65, clock_ns=10.0)
+
+
+def _explore(cpu, name, **kwargs):
+    benchmark = get_benchmark(name)
+    return explore(
+        cpu,
+        benchmark.program(),
+        max_cycles=benchmark.max_cycles,
+        max_segments=benchmark.max_segments,
+        **kwargs,
+    )
+
+
+@needs_fork
+class TestShardedExploreInvariance:
+    @pytest.fixture(scope="class", params=INVARIANCE_BENCHMARKS)
+    def trees(self, request, cpu):
+        name = request.param
+        serial = _explore(cpu, name, workers=1)
+        sharded = _explore(cpu, name, workers=4)
+        return name, serial, sharded
+
+    def test_tree_bit_identical(self, trees):
+        _name, serial, sharded = trees
+        assert_trees_identical(serial, sharded)
+
+    def test_golden_numbers(self, trees, model):
+        """Sharded-tree analysis reproduces the pinned seed numbers."""
+        name, _serial, sharded = trees
+        benchmark = get_benchmark(name)
+        peak_power = compute_peak_power(sharded, model, workers=4)
+        peak_energy = compute_peak_energy(
+            sharded, peak_power, loop_bound=benchmark.loop_bound
+        )
+        golden = GOLDEN[name]
+        assert peak_power.peak_power_mw == pytest.approx(
+            golden["peak_power_mw"], rel=REL
+        )
+        assert peak_energy.peak_energy_pj == pytest.approx(
+            golden["peak_energy_pj"], rel=REL
+        )
+
+    def test_worker_two_matches_worker_four(self, cpu, trees):
+        """Any worker count, same tree (spot-probe a second count)."""
+        name, serial, _sharded = trees
+        if name != "binSearch":
+            pytest.skip("second worker count probed on binSearch only")
+        assert_trees_identical(serial, _explore(cpu, name, workers=2))
+
+    def test_reference_engine_sharded(self, cpu):
+        serial = _explore(
+            cpu, "div", engine="reference", batch_size=1, workers=1
+        )
+        sharded = _explore(cpu, "div", engine="reference", workers=3)
+        assert_trees_identical(serial, sharded)
+
+
+class TestMergeOrderProperty:
+    """The canonical replay is independent of segment completion order."""
+
+    def _nodes_from_tree(self, tree):
+        """Reconstruct the {key: node} graph the sharded master merges."""
+        keys = {
+            segment.index: segment.index.to_bytes(4, "little")
+            for segment in tree.segments
+        }
+        keys[0] = _ROOT_KEY
+        nodes = {}
+        for segment in tree.segments:
+            sl = tree.segment_slice(segment)
+            nodes[keys[segment.index]] = _Node(
+                key=keys[segment.index],
+                records=tree.flat_trace.records[sl],
+                end=segment.end,
+                forks=[
+                    (fork.assignment, keys[fork.target])
+                    for fork in segment.forks
+                ],
+            )
+        return nodes
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_shuffled_merge_is_identical(self, cpu, seed):
+        tree = _explore(cpu, "binSearch")
+        nodes = self._nodes_from_tree(tree)
+        rng = np.random.default_rng(seed)
+        items = list(nodes.items())
+        rng.shuffle(items)
+        reassembled = _assemble_tree(
+            dict(items),
+            tree.flat_trace.n_nets,
+            packing=tree.flat_trace.packing,
+        )
+        assert_trees_identical(tree, reassembled)
+
+
+@needs_fork
+class TestIslandGADeterminism:
+    GA_KWARGS = dict(
+        population=6,
+        generations=4,
+        genome_length=6,
+        islands=3,
+        migration_interval=2,
+    )
+
+    def test_identical_across_worker_counts(self, cpu, model):
+        one = generate_stressmark(cpu, model, workers=1, **self.GA_KWARGS)
+        many = generate_stressmark(cpu, model, workers=3, **self.GA_KWARGS)
+        assert one.source == many.source
+        assert one.peak_power_mw == many.peak_power_mw
+        assert one.avg_power_mw == many.avg_power_mw
+
+    def test_single_island_is_classic_ga(self, cpu, model):
+        classic = generate_stressmark(
+            cpu, model, population=6, generations=2, genome_length=6
+        )
+        single = generate_stressmark(
+            cpu, model, population=6, generations=2, genome_length=6,
+            islands=1, workers=2,
+        )
+        assert classic.source == single.source
+        assert classic.peak_power_mw == single.peak_power_mw
+
+
+class TestThreadedKernel:
+    def test_trace_power_thread_invariant(self, cpu, model):
+        rng = np.random.default_rng(11)
+        values = rng.integers(
+            0, 2, size=(900, cpu.netlist.n_nets)
+        ).astype(np.uint8)
+        mem = rng.random((900, 2))
+        serial = model.trace_power(values, mem, per_module=True, workers=1)
+        threaded = model.trace_power(values, mem, per_module=True, workers=4)
+        assert np.array_equal(serial.total_mw, threaded.total_mw)
+        for name in serial.module_mw:
+            assert np.array_equal(
+                serial.module_mw[name], threaded.module_mw[name]
+            )
+
+    def test_transition_power_thread_invariant(self, cpu, model):
+        rng = np.random.default_rng(12)
+        values = rng.integers(
+            0, 2, size=(700, cpu.netlist.n_nets)
+        ).astype(np.uint8)
+        serial = model.transition_power(values[:-1], values[1:], workers=1)
+        threaded = model.transition_power(values[:-1], values[1:], workers=3)
+        assert np.array_equal(serial.total_mw, threaded.total_mw)
+
+    def test_peak_power_workers_invariant(self, cpu, model):
+        tree = _explore(cpu, "mult")
+        serial = compute_peak_power(tree, model, workers=1)
+        threaded = compute_peak_power(tree, model, workers=4)
+        assert serial.peak_power_mw == threaded.peak_power_mw
+        assert np.array_equal(serial.trace_mw, threaded.trace_mw)
+        for name in serial.module_mw:
+            assert np.array_equal(
+                serial.module_mw[name], threaded.module_mw[name]
+            )
+
+
+class TestPackedConcreteRecords:
+    """run_batch_to_halt emits packed records and stays bit-identical."""
+
+    def test_records_are_packed_and_lazy(self, cpu):
+        from repro.sim.batch import run_batch_to_halt
+
+        benchmark = get_benchmark("mult")
+        program = benchmark.program().with_inputs(benchmark.input_sets(1)[0])
+        machine = cpu.make_machine(program, symbolic_inputs=False, port_in=0)
+        [(trace, cycles)] = run_batch_to_halt(cpu, [machine], 4)
+        assert cycles > 0
+        assert trace.packing is not None
+        record = trace.records[0]
+        assert record.value_words is not None
+        assert record._values is None, "values must unpack lazily"
+        # per-record lazy unpack agrees with the bulk matrix unpack
+        matrix = trace.values_matrix()
+        assert np.array_equal(record.values, matrix[0])
+        assert np.array_equal(
+            trace.records[-1].values, matrix[-1]
+        )
+
+    def test_packed_matches_scalar_run(self, cpu):
+        from repro.sim.batch import run_batch_to_halt
+        from repro.sim.trace import Trace
+
+        benchmark = get_benchmark("tea8")
+        program = benchmark.program().with_inputs(benchmark.input_sets(1)[0])
+        scalar_machine = cpu.make_machine(
+            program, symbolic_inputs=False, port_in=0
+        )
+        scalar_trace = Trace(scalar_machine.netlist.n_nets)
+        cpu.run_to_halt(scalar_machine, trace=scalar_trace)
+        machine = cpu.make_machine(program, symbolic_inputs=False, port_in=0)
+        [(trace, _cycles)] = run_batch_to_halt(cpu, [machine], 4)
+        assert np.array_equal(
+            trace.values_matrix(), scalar_trace.values_matrix()
+        )
+        assert np.array_equal(
+            trace.active_matrix(), scalar_trace.active_matrix()
+        )
+        assert np.array_equal(
+            trace.mem_accesses(), scalar_trace.mem_accesses()
+        )
+        assert trace.annotation("pc") == scalar_trace.annotation("pc")
+
+
+class TestKnobResolution:
+    def test_resolve_workers_explicit(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(1) == 1
+
+    def test_resolve_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None) == 5
+        monkeypatch.setenv("REPRO_WORKERS", "")
+        assert resolve_workers(None) == 1
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert resolve_workers(None) == 1
+
+    def test_resolve_workers_auto(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_resolve_workers_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+    def test_inner_workers_never_oversubscribes(self, monkeypatch):
+        import os
+
+        cores = os.cpu_count() or 1
+        for jobs in (1, 2, 8, 64):
+            inner = inner_workers(jobs, workers=16)
+            assert inner >= 1
+            assert jobs * inner <= max(jobs, cores)
+
+    def test_inner_workers_serial_under_wide_fanout(self):
+        import os
+
+        cores = os.cpu_count() or 1
+        assert inner_workers(cores * 2, workers=8) == 1

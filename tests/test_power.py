@@ -2,11 +2,8 @@
 
 import numpy as np
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.cells import SG65, SG130
-from repro.logic import X
 from repro.netlist import NetlistBuilder
 from repro.power import PowerModel, design_tool_rating
 from repro.power.model import _scale_for

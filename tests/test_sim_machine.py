@@ -1,7 +1,6 @@
 """Machine, evaluator activity rule, trace, and VCD unit tests."""
 
 import numpy as np
-import pytest
 
 from repro.logic import ONE, X, ZERO
 from repro.netlist import NetlistBuilder
