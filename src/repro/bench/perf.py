@@ -78,6 +78,8 @@ def run_perf_suite(
     repeats: int = 1,
     cpu=None,
     workers: int | None = None,
+    islands: int | None = None,
+    migration_interval: int | None = None,
 ) -> dict:
     """Time every pipeline phase, scalar vs batched; return the report.
 
@@ -86,13 +88,27 @@ def run_perf_suite(
     for bit against the single-process trace; ``explore.sharded_s`` /
     ``sharded_speedup`` (vs the single-process bitplane run) land in the
     artifact so worker-count scaling is tracked per benchmark.
+
+    *islands*/*migration_interval* select the GA island schedule for the
+    stressmark phase (``None`` honors ``REPRO_ISLANDS``/
+    ``REPRO_MIGRATION_INTERVAL``); both timed GA runs use the same
+    schedule, so the scalar-vs-batched comparison stays apples to
+    apples, and the resolved knobs land in the artifact's engine block.
     """
+    from repro.core.stressmark import resolve_island_knobs
     from repro.parallel.pool import fork_available, resolve_workers
 
     names = names if names is not None else list(DEFAULT_PERF_BENCHMARKS)
     if batch_size is None:
         batch_size = default_batch_size()
     workers = resolve_workers(workers)
+    islands, migration_interval = resolve_island_knobs(
+        islands, migration_interval
+    )
+    ga_kwargs = dict(
+        STRESSMARK_KWARGS, islands=islands,
+        migration_interval=migration_interval,
+    )
     time_sharded = workers > 1 and fork_available()
     cpu = cpu or build_ulp430()
     model = PowerModel(cpu.netlist, SG65, clock_ns=10.0)
@@ -257,13 +273,13 @@ def run_perf_suite(
 
     stressmark_scalar_s, stressmark_scalar = _best(
         lambda: generate_stressmark(
-            cpu, model, batch_size=1, **STRESSMARK_KWARGS
+            cpu, model, batch_size=1, **ga_kwargs
         ),
         repeats,
     )
     stressmark_batched_s, stressmark_batched = _best(
         lambda: generate_stressmark(
-            cpu, model, batch_size=batch_size, **STRESSMARK_KWARGS
+            cpu, model, batch_size=batch_size, **ga_kwargs
         ),
         repeats,
     )
@@ -285,6 +301,8 @@ def run_perf_suite(
             "bitplane_batch_size": default_batch_size("bitplane"),
             "repeats": repeats,
             "workers": workers,
+            "islands": islands,
+            "migration_interval": migration_interval,
         },
         "host": {
             "python": platform.python_version(),

@@ -1,10 +1,12 @@
-"""Shared experiment runner: versioned disk cache + parallel suite fan-out.
+"""Shared experiment runner: artifact-store client + parallel suite fan-out.
 
 Every figure/table harness needs the same expensive artifacts — the
 symbolic analysis of each benchmark, profiling runs, the GA stressmark.
-This module computes them once and pickles them under ``.repro_cache`` in
-the working directory, so the per-figure benchmarks stay fast and
-consistent with each other.
+This module computes them once and publishes them through the
+content-addressed :class:`repro.service.ArtifactStore` under
+``.repro_cache`` in the working directory, so the per-figure benchmarks
+stay fast and consistent with each other (and with the analysis
+service, which resolves its jobs through the same store).
 
 Cache entries are **versioned**: every on-disk file name carries a
 fingerprint of the cache schema version, the elaborated netlist, and the
@@ -13,22 +15,25 @@ benchmark source and exploration budgets).  Editing the processor, the
 :class:`~repro.power.model.PowerModel`, or a benchmark therefore misses
 the cache and recomputes instead of silently reusing stale pickles.
 Setting ``REPRO_NO_CACHE=1`` (or passing ``--no-cache`` on the CLI)
-bypasses the disk layer entirely.
+bypasses the disk layer entirely.  ``repro cache stats`` / ``repro
+cache gc`` inspect and trim the store (including seed-era legacy
+entries).
 
 :func:`run_suite` fans the Table 4.1 benchmarks out over a
 ``ProcessPoolExecutor`` — each worker process elaborates its own CPU and
-power model and fills the shared disk cache, so a cold suite run scales
-with the core count.
+power model and fills the shared artifact store, so a cold suite run
+scales with the core count.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
-import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
+
+from repro.service.store import ArtifactStore
 
 from repro.bench.suite import ALL_BENCHMARKS, Benchmark, get_benchmark
 from repro.cells import SG65
@@ -130,28 +135,35 @@ def _bench_token(benchmark: Benchmark) -> str:
     return h.hexdigest()
 
 
+_store: ArtifactStore | None = None
+
+
+def artifact_store() -> ArtifactStore:
+    """The runner's artifact store, bound to the active ``CACHE_DIR``.
+
+    Re-binds when ``CACHE_DIR`` is repointed (tests, ``repro serve
+    --store``); the fingerprint is late-bound through
+    :func:`cache_fingerprint` so model edits version keys as before.
+    """
+    global _store
+    if _store is None or _store.root != Path(CACHE_DIR):
+        _store = ArtifactStore(CACHE_DIR, fingerprint=cache_fingerprint)
+    return _store
+
+
 def _cached(key: str, compute):
-    """Two-level cache: per-process dict, then versioned pickle on disk."""
+    """Two-level cache: per-process dict, then the versioned artifact
+    store on disk (atomic publish, integrity-checked reads — parallel
+    workers may race on the same key and torn artifacts must never
+    become visible)."""
     if key in _memory_cache:
+        artifact_store().note_memory_hit()
         return _memory_cache[key]
     if not cache_enabled():
         value = compute()
         _memory_cache[key] = value
         return value
-    CACHE_DIR.mkdir(exist_ok=True)
-    path = CACHE_DIR / f"{key}-{cache_fingerprint()}.pkl"
-    if path.exists():
-        with path.open("rb") as handle:
-            value = pickle.load(handle)
-        _memory_cache[key] = value
-        return value
-    value = compute()
-    # Atomic publish: parallel workers may race on the same key, and a
-    # half-written pickle must never become visible under the final name.
-    scratch = path.with_suffix(f".tmp{os.getpid()}")
-    with scratch.open("wb") as handle:
-        pickle.dump(value, handle)
-    os.replace(scratch, path)
+    value = artifact_store().get_or_compute(key, compute)
     _memory_cache[key] = value
     return value
 
@@ -170,11 +182,16 @@ class BenchmarkResults:
     avg_peak_trace_mw: float
 
 
-def x_based(name: str) -> BenchmarkResults:
-    """Cached X-based (our-technique) results for one benchmark."""
+def x_based(name: str, workers: int | None = None) -> BenchmarkResults:
+    """Cached X-based (our-technique) results for one benchmark.
+
+    *workers* only parallelizes a cold compute (the service's per-job
+    budget); results — and hence the cache key — are identical at any
+    worker count, so it never fragments the store.
+    """
 
     def compute() -> BenchmarkResults:
-        report = full_report(name)
+        report = full_report(name, workers=workers)
         return BenchmarkResults(
             name=name,
             peak_power_mw=report.peak_power_mw,
@@ -190,8 +207,12 @@ def x_based(name: str) -> BenchmarkResults:
     return _cached(f"xbased_{name}_{_bench_token(benchmark)}", compute)
 
 
-def full_report(name: str) -> AnalysisReport:
-    """Uncached full analysis (tree included) — for COI/validation flows."""
+def full_report(name: str, workers: int | None = None) -> AnalysisReport:
+    """Uncached full analysis (tree included) — for COI/validation flows.
+
+    *workers* spreads a cold analysis over that many cores
+    (bit-identical at any count, see :func:`repro.core.api.analyze`).
+    """
     key = f"report_{name}"
     if key in _memory_cache:
         return _memory_cache[key]
@@ -200,6 +221,7 @@ def full_report(name: str) -> AnalysisReport:
         shared_cpu(),
         benchmark.program(),
         shared_model(),
+        workers=workers,
         **benchmark.analysis_kwargs(),
     )
     _memory_cache[key] = report
@@ -226,13 +248,43 @@ def design_baseline() -> DesignToolBaseline:
     return design_tool(shared_model())
 
 
-def stressmark(objective: str = "peak") -> Stressmark:
-    """Cached GA stressmark (shared by Figs 5.1/5.2)."""
+def stressmark(
+    objective: str = "peak",
+    islands: int | None = None,
+    migration_interval: int | None = None,
+    workers: int | None = None,
+) -> Stressmark:
+    """Cached GA stressmark (shared by Figs 5.1/5.2).
+
+    The island knobs resolve like the GA itself (explicit argument,
+    then ``REPRO_ISLANDS``/``REPRO_MIGRATION_INTERVAL``, then the
+    classic single-population defaults) and feed the cache key, since
+    different island schedules evolve different winners.  *workers*
+    only changes wall-clock (the evolution is worker-count
+    deterministic) and stays out of the key.
+    """
+    from repro.core.stressmark import resolve_island_knobs
+
+    islands, migration_interval = resolve_island_knobs(
+        islands, migration_interval
+    )
 
     def compute() -> Stressmark:
-        return generate_stressmark(shared_cpu(), shared_model(), objective)
+        return generate_stressmark(
+            shared_cpu(),
+            shared_model(),
+            objective,
+            islands=islands,
+            migration_interval=migration_interval,
+            workers=workers,
+        )
 
-    return _cached(f"stressmark_{objective}", compute)
+    key = f"stressmark_{objective}"
+    # with one island no migration ever happens, so any interval breeds
+    # the classic-GA artifact — don't fragment the store over it
+    if islands != 1:
+        key = f"{key}_i{islands}m{migration_interval}"
+    return _cached(key, compute)
 
 
 def all_names() -> list[str]:
@@ -243,7 +295,8 @@ def all_names() -> list[str]:
 # Process-parallel suite runner
 # ----------------------------------------------------------------------
 _KNOB_VARS = (
-    "REPRO_NO_CACHE", "REPRO_BATCH_SIZE", "REPRO_ENGINE", "REPRO_WORKERS"
+    "REPRO_NO_CACHE", "REPRO_BATCH_SIZE", "REPRO_ENGINE", "REPRO_WORKERS",
+    "REPRO_ISLANDS", "REPRO_MIGRATION_INTERVAL",
 )
 
 
@@ -252,6 +305,8 @@ def _apply_knobs(
     no_cache: bool,
     engine: str | None = None,
     workers: int | None = None,
+    islands: int | None = None,
+    migration_interval: int | None = None,
 ) -> None:
     """Export explicitly requested knobs; leave inherited ones alone."""
     if no_cache:
@@ -262,18 +317,24 @@ def _apply_knobs(
         os.environ["REPRO_ENGINE"] = engine
     if workers is not None:
         os.environ["REPRO_WORKERS"] = str(workers)
+    if islands is not None:
+        os.environ["REPRO_ISLANDS"] = str(islands)
+    if migration_interval is not None:
+        os.environ["REPRO_MIGRATION_INTERVAL"] = str(migration_interval)
 
 
 def _suite_worker(
     name: str, batch_size: int | None, no_cache: bool,
     engine: str | None = None, workers: int | None = None,
+    islands: int | None = None, migration_interval: int | None = None,
 ) -> BenchmarkResults:
     """Compute one benchmark's X-based results in a worker process.
 
     Explicit knobs override the (fork- or spawn-) inherited environment;
     unset knobs fall through to whatever the caller exported.
     """
-    _apply_knobs(batch_size, no_cache, engine, workers)
+    _apply_knobs(batch_size, no_cache, engine, workers,
+                 islands, migration_interval)
     return x_based(name)
 
 
@@ -284,6 +345,8 @@ def run_suite(
     no_cache: bool = False,
     engine: str | None = None,
     workers: int | None = None,
+    islands: int | None = None,
+    migration_interval: int | None = None,
 ) -> list[BenchmarkResults]:
     """X-based analysis of *names* (default: all 14), fanned out over
     ``jobs`` worker processes.
@@ -301,6 +364,12 @@ def run_suite(
     (see :func:`repro.parallel.pool.inner_workers`) — with a benchmark-
     wide fan-out the inner level collapses to serial, and with few jobs
     on a big host the spare cores go to path-level sharding.
+
+    *islands*/*migration_interval* export the GA island knobs
+    (``REPRO_ISLANDS``/``REPRO_MIGRATION_INTERVAL``) to the suite's
+    environment, so stressmark artifacts computed downstream of a suite
+    run — figure harnesses, service jobs — inherit the requested island
+    schedule (see :func:`stressmark`).
     """
     from repro.parallel.pool import inner_workers
 
@@ -317,7 +386,8 @@ def run_suite(
         inner = inner_workers(1, workers) if workers is not None else None
         saved = {var: os.environ.get(var) for var in _KNOB_VARS}
         try:
-            _apply_knobs(batch_size, no_cache, engine, inner)
+            _apply_knobs(batch_size, no_cache, engine, inner,
+                         islands, migration_interval)
             by_name = {
                 name: x_based(name) for name in unique
             }
@@ -332,7 +402,8 @@ def run_suite(
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
                 name: pool.submit(
-                    _suite_worker, name, batch_size, no_cache, engine, inner
+                    _suite_worker, name, batch_size, no_cache, engine, inner,
+                    islands, migration_interval,
                 )
                 for name in unique
             }

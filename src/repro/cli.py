@@ -6,16 +6,26 @@ Usage::
     python -m repro profile  prog.asm --inputs 1,2,3 [--inputs 4,5,6 ...]
     python -m repro coi      prog.asm [--count N]
     python -m repro suite    [--benchmarks mult,tea8,...] [--jobs N]
-                             [--no-cache]
+                             [--no-cache] [--islands N]
     python -m repro bench    [--benchmarks ...] [--output BENCH_suite.json]
+    python -m repro serve    [--host H] [--port P] [--max-jobs N]
+    python -m repro submit   BENCHMARK [--url URL] [--kind analyze|...]
+    python -m repro cache    stats | gc --max-mb N
 
 ``analyze`` prints the guaranteed input-independent peak power and energy
 for an assembly program whose ``.input`` regions are symbolic; ``profile``
 measures concrete input sets and applies the 4/3 guardband; ``coi`` shows
 the cycles of interest with culprit instructions; ``suite`` runs the
-Table 4.1 benchmarks end to end (process-parallel, disk-cached);
+Table 4.1 benchmarks end to end (process-parallel, store-cached);
 ``bench`` times the scalar vs batched engines and writes a perf-trajectory
 JSON artifact.
+
+The service verbs turn sizing questions into repeatable queries:
+``serve`` runs the HTTP analysis service (async job scheduler +
+content-addressed artifact store, see :mod:`repro.service`); ``submit``
+sends one job to a running server and prints the bound; ``cache``
+inspects (``stats``) or trims (``gc --max-mb N``) the artifact store,
+including seed-era legacy pickles.
 
 Engine knobs shared by the analysis commands: ``--engine bitplane``
 (default) simulates on packed dual-rail uint64 bit planes, ``--engine
@@ -48,6 +58,35 @@ from repro.cpu import build_ulp430
 from repro.power import PowerModel
 
 
+class CliError(Exception):
+    """A user-input error: printed to stderr, exit status 2, no traceback."""
+
+
+def _resolve_benchmarks(spec: str | None) -> list[str] | None:
+    """Validate a ``--benchmarks`` list against the registry.
+
+    Returns ``None`` for "all benchmarks"; raises :class:`CliError`
+    naming the offending entries and every valid name (instead of the
+    raw ``KeyError`` traceback the suite used to die with).
+    """
+    from repro.bench.suite import ALL_BENCHMARKS
+
+    if spec is None:
+        return None
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    if not names:
+        raise CliError("--benchmarks selected nothing")
+    unknown = [name for name in names if name not in ALL_BENCHMARKS]
+    if unknown:
+        listed = ", ".join(repr(name) for name in unknown)
+        plural = "s" if len(unknown) > 1 else ""
+        valid = ", ".join(sorted(ALL_BENCHMARKS))
+        raise CliError(
+            f"unknown benchmark{plural} {listed}; valid names: {valid}"
+        )
+    return names
+
+
 def _load_program(path: str):
     source = Path(path).read_text()
     return assemble(source, Path(path).stem)
@@ -60,11 +99,16 @@ def _make_context():
 
 
 def _apply_engine(args: argparse.Namespace) -> None:
-    """Export --engine/--workers so everything downstream honors them."""
+    """Export --engine/--workers/--islands so everything downstream
+    honors them."""
     if getattr(args, "engine", None):
         os.environ["REPRO_ENGINE"] = args.engine
     if getattr(args, "workers", None) is not None:
         os.environ["REPRO_WORKERS"] = str(args.workers)
+    if getattr(args, "islands", None) is not None:
+        os.environ["REPRO_ISLANDS"] = str(args.islands)
+    if getattr(args, "migration_interval", None) is not None:
+        os.environ["REPRO_MIGRATION_INTERVAL"] = str(args.migration_interval)
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -128,14 +172,15 @@ def cmd_suite(args: argparse.Namespace) -> int:
     _apply_engine(args)
     if args.no_cache:
         os.environ["REPRO_NO_CACHE"] = "1"
-    names = args.benchmarks.split(",") if args.benchmarks else runner.all_names()
     results = runner.run_suite(
-        names,
+        _resolve_benchmarks(args.benchmarks),  # None = all benchmarks
         jobs=args.jobs,
         batch_size=args.batch_size,
         no_cache=args.no_cache,
         engine=args.engine,
         workers=args.workers,
+        islands=args.islands,
+        migration_interval=args.migration_interval,
     )
     for result in results:
         print(f"{result.name:>10}: peak {result.peak_power_mw:.3f} mW, "
@@ -149,10 +194,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     _apply_engine(args)
 
-    names = args.benchmarks.split(",") if args.benchmarks else None
+    names = _resolve_benchmarks(args.benchmarks)
     report = run_perf_suite(
         names, batch_size=args.batch_size, repeats=args.repeats,
-        workers=args.workers,
+        workers=args.workers, islands=args.islands,
+        migration_interval=args.migration_interval,
     )
     write_report(report, args.output)
     for row in report["benchmarks"]:
@@ -170,6 +216,123 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"stressmark: {sm['speedup']:.2f}x "
           f"({sm['scalar_s']:.2f}s -> {sm['batched_s']:.2f}s)")
     print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.bench import runner
+    from repro.service.server import serve
+
+    _apply_engine(args)
+    if args.store is not None:
+        runner.CACHE_DIR = Path(args.store)
+    return serve(
+        host=args.host,
+        port=args.port,
+        max_jobs=args.max_jobs,
+        workers_per_job=args.workers,
+        verbose=args.verbose,
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import urllib.error
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    if args.kind in ("analyze", "profile"):
+        _resolve_benchmarks(args.benchmark)  # fail fast, before the network
+    params = {}
+    if args.kind in ("analyze", "profile"):
+        params["benchmark"] = args.benchmark
+    else:
+        params["objective"] = args.benchmark
+        if args.islands is not None:
+            params["islands"] = args.islands
+        if args.migration_interval is not None:
+            params["migration_interval"] = args.migration_interval
+    client = ServiceClient(args.url)
+    try:
+        job = client.submit(args.kind, priority=args.priority, **params)
+        if args.no_wait:
+            print(f"{job['job_id']}: {job['state']}"
+                  f"{' (deduped)' if job.get('deduped') else ''}")
+            return 0
+        payload = client.result(job["job_id"], timeout=args.timeout)
+    except ServiceError as err:
+        print(f"repro submit: {err}", file=sys.stderr)
+        return 1
+    except TimeoutError as err:
+        # the job may well still be running server-side — distinguish
+        # "slow" from "down" (TimeoutError is an OSError: catch it first)
+        print(
+            f"repro submit: {err}; the job may still be running — "
+            f"retry or query its status",
+            file=sys.stderr,
+        )
+        return 1
+    except (urllib.error.URLError, OSError) as err:
+        print(
+            f"repro submit: cannot reach {args.url} ({err}); "
+            f"is `repro serve` running?",
+            file=sys.stderr,
+        )
+        return 1
+    result = payload.get("result", {})
+    dedup = " (deduped)" if job.get("deduped") else ""
+    if result.get("kind") == "analysis":
+        print(
+            f"{result['benchmark']}: peak {result['peak_power_mw']:.3f} mW, "
+            f"NPE {result['npe_pj_per_cycle']:.2f} pJ/cycle, "
+            f"{result['n_segments']} segments "
+            f"[{payload['job_id']}{dedup}]"
+        )
+    elif result.get("kind") == "profiling":
+        print(
+            f"{result['benchmark']}: observed "
+            f"{result['observed_peak_power_mw']:.3f} mW, guardbanded "
+            f"{result['guardbanded_peak_power_mw']:.3f} mW "
+            f"[{payload['job_id']}{dedup}]"
+        )
+    elif result.get("kind") == "stressmark":
+        print(
+            f"stressmark({result['objective']}): peak "
+            f"{result['peak_power_mw']:.3f} mW, avg "
+            f"{result['avg_power_mw']:.3f} mW [{payload['job_id']}{dedup}]"
+        )
+    else:
+        import json
+
+        print(json.dumps(payload, indent=2))
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.bench import runner
+
+    if args.store is not None:
+        runner.CACHE_DIR = Path(args.store)
+    store = runner.artifact_store()
+    if args.cache_command == "stats":
+        stats = store.stats()
+        print(f"store      : {stats.root}")
+        print(f"entries    : {stats.n_entries} "
+              f"({stats.n_legacy} legacy, {stats.n_stale} stale)")
+        print(f"total size : {stats.total_bytes / (1024 * 1024):.2f} MB")
+        for kind, count in sorted(stats.by_kind.items()):
+            print(f"  {kind:<12} {count}")
+        counters = stats.counters
+        print(f"this run   : {counters.hits_total} hits "
+              f"({counters.hits_memory} memory, {counters.hits_disk} disk), "
+              f"{counters.misses} misses, {counters.writes} writes")
+        return 0
+    report = store.gc(max_mb=args.max_mb)
+    print(f"removed {len(report.removed)} artifacts, "
+          f"freed {report.freed_bytes / (1024 * 1024):.2f} MB; "
+          f"{report.kept_entries} kept "
+          f"({report.remaining_bytes / (1024 * 1024):.2f} MB)")
+    for name in report.removed:
+        print(f"  - {name}")
     return 0
 
 
@@ -224,6 +387,19 @@ def build_parser() -> argparse.ArgumentParser:
     add_batch_size(p_coi)
     p_coi.set_defaults(func=cmd_coi)
 
+    def add_island_knobs(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--islands", type=int, default=None, metavar="N",
+            help="GA island populations for stressmark generation "
+                 "(default 1 = classic single population, also "
+                 "$REPRO_ISLANDS)",
+        )
+        sub_parser.add_argument(
+            "--migration-interval", type=int, default=None, metavar="G",
+            help="generations between island ring migrations (default 2, "
+                 "also $REPRO_MIGRATION_INTERVAL)",
+        )
+
     p_suite = sub.add_parser("suite", help="run Table 4.1 benchmarks")
     p_suite.add_argument("--benchmarks", default=None,
                          help="comma-separated subset (default: all)")
@@ -231,9 +407,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes (default: one per benchmark, "
                               "capped at the core count; 1 = in-process)")
     p_suite.add_argument("--no-cache", action="store_true",
-                         help="bypass the versioned disk cache "
+                         help="bypass the versioned artifact store "
                               "(same as REPRO_NO_CACHE=1)")
     add_batch_size(p_suite)
+    add_island_knobs(p_suite)
     p_suite.set_defaults(func=cmd_suite)
 
     p_bench = sub.add_parser(
@@ -245,13 +422,77 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--output", default="BENCH_suite.json")
     p_bench.add_argument("--repeats", type=int, default=1)
     add_batch_size(p_bench)
+    add_island_knobs(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+
+    from repro.service.server import DEFAULT_PORT
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP analysis service (scheduler + store)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p_serve.add_argument("--store", default=None, metavar="DIR",
+                         help="artifact-store directory "
+                              "(default: .repro_cache)")
+    p_serve.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                         help="concurrent job slots (default: cores // "
+                              "workers-per-job; never oversubscribes)")
+    p_serve.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="engine workers per job (0 = one per core, "
+                              "also $REPRO_WORKERS)")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request")
+    p_serve.set_defaults(func=cmd_serve, engine=None, islands=None,
+                         migration_interval=None)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one job to a running analysis service"
+    )
+    p_submit.add_argument(
+        "benchmark",
+        help="benchmark name (kinds analyze/profile) or GA objective "
+             "peak|average (kind stressmark)",
+    )
+    p_submit.add_argument("--url", default=f"http://127.0.0.1:{DEFAULT_PORT}")
+    p_submit.add_argument("--kind", default="analyze",
+                          choices=("analyze", "profile", "stressmark"))
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="higher runs first (default 0)")
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="print the job id and return immediately")
+    p_submit.add_argument("--timeout", type=float, default=600.0,
+                          help="seconds to wait for the result")
+    add_island_knobs(p_submit)
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or trim the artifact store"
+    )
+    p_cache.add_argument("--store", default=None, metavar="DIR",
+                         help="store directory (default: .repro_cache)")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser(
+        "stats", help="entry counts, sizes, hit/miss counters"
+    )
+    p_gc = cache_sub.add_parser(
+        "gc", help="drop stale/legacy artifacts, enforce a size cap"
+    )
+    p_gc.add_argument("--max-mb", type=float, default=None, metavar="N",
+                      help="evict least-recently-used artifacts until the "
+                           "store fits in N MB (stale and legacy entries "
+                           "go first, cap or no cap)")
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CliError as err:
+        print(f"repro: {err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -48,6 +48,26 @@ class AnalysisReport:
             f"{len(self.tree.segments)} path segments"
         )
 
+    def to_payload(self) -> dict:
+        """JSON-serializable requirements summary of this full report.
+
+        Floats round-trip through JSON bit-exactly, so serialized
+        answers compare equal to a direct :func:`analyze` call.  (The
+        analysis service's benchmark jobs return the slimmer
+        store-backed schema built in
+        :func:`repro.service.scheduler._analysis_payload`; this is the
+        full-report view for custom programs and scripting.)"""
+        return {
+            "program": self.program_name,
+            "peak_power_mw": self.peak_power_mw,
+            "peak_energy_pj": self.peak_energy_pj,
+            "npe_pj_per_cycle": self.npe_pj_per_cycle,
+            "peak_cycle": int(self.peak_power.peak_cycle),
+            "path_cycles": int(self.peak_energy.path_cycles),
+            "n_segments": len(self.tree.segments),
+            "n_cycles": int(self.tree.n_cycles),
+        }
+
 
 def analyze(
     cpu,

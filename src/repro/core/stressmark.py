@@ -10,6 +10,7 @@ average) power.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -253,6 +254,37 @@ def evolve_island(
 ISLAND_SEED_STRIDE = 9973
 
 
+def _int_knob(value: int | None, env_var: str, default: int, floor: int) -> int:
+    """Resolve an integer GA knob: explicit arg > *env_var* > *default*."""
+    if value is None:
+        raw = os.environ.get(env_var, "")
+        if not raw.strip():
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            message = f"{env_var} must be an integer, got {raw!r}"
+            raise ValueError(message) from None
+    if value < floor:
+        name = env_var.removeprefix("REPRO_").lower()
+        raise ValueError(f"{name} must be >= {floor}, got {value}")
+    return value
+
+
+def resolve_island_knobs(
+    islands: int | None = None, migration_interval: int | None = None
+) -> tuple[int, int]:
+    """Resolve the island-model knobs the way every other engine knob
+    resolves: explicit argument, then ``REPRO_ISLANDS`` /
+    ``REPRO_MIGRATION_INTERVAL`` (exported by ``suite``/``bench``
+    ``--islands``/``--migration-interval``), then the classic
+    single-population defaults ``(1, 2)``."""
+    return (
+        _int_knob(islands, "REPRO_ISLANDS", 1, 1),
+        _int_knob(migration_interval, "REPRO_MIGRATION_INTERVAL", 2, 1),
+    )
+
+
 def generate_stressmark(
     cpu,
     model: PowerModel,
@@ -262,8 +294,8 @@ def generate_stressmark(
     genome_length: int = 12,
     seed: int = 42,
     batch_size: int | None = None,
-    islands: int = 1,
-    migration_interval: int = 2,
+    islands: int | None = None,
+    migration_interval: int | None = None,
     workers: int | None = None,
 ) -> Stressmark:
     """Breed a stressmark targeting ``"peak"`` or ``"average"`` power.
@@ -281,11 +313,17 @@ def generate_stressmark(
     that many fork-start worker processes (``None`` honors
     ``REPRO_WORKERS``); the evolution is a pure function of the island
     seeds, so results are identical at **any** worker count.
+
+    ``islands=None``/``migration_interval=None`` honor ``REPRO_ISLANDS``
+    and ``REPRO_MIGRATION_INTERVAL`` (the CLI's ``--islands`` /
+    ``--migration-interval``), defaulting to the classic single
+    population.
     """
     if objective not in ("peak", "average"):
         raise ValueError("objective must be 'peak' or 'average'")
-    if islands < 1:
-        raise ValueError(f"islands must be >= 1, got {islands}")
+    islands, migration_interval = resolve_island_knobs(
+        islands, migration_interval
+    )
     if batch_size is None:
         from repro.core.activity import default_batch_size
 

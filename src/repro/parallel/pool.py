@@ -57,6 +57,31 @@ def inner_workers(outer_jobs: int, workers: int | None = None) -> int:
     return max(1, min(requested, cores // max(1, outer_jobs)))
 
 
+def service_slots(
+    max_jobs: int | None = None, workers_per_job: int | None = None
+) -> tuple[int, int]:
+    """Core budget for the analysis service: ``(job slots, inner workers)``.
+
+    Splits the host between concurrently running jobs and each job's
+    inner engine workers so ``slots * inner`` never exceeds the core
+    count — the same non-oversubscription rule :func:`inner_workers`
+    enforces for ``run_suite(jobs=, workers=)``, applied from the other
+    side: the per-job worker request is fixed and the job fan-out is
+    derived.  *workers_per_job* resolves like every other worker knob
+    (``None`` honors ``REPRO_WORKERS``, ``0`` means one per core — which
+    yields a single job slot using the whole host).  An explicit
+    *max_jobs* lowers, never raises, the derived slot count.
+    """
+    cores = os.cpu_count() or 1
+    inner = min(resolve_workers(workers_per_job), cores)
+    slots = max(1, cores // inner)
+    if max_jobs is not None:
+        if max_jobs < 1:
+            raise ValueError(f"max_jobs must be >= 1, got {max_jobs}")
+        slots = min(slots, max_jobs)
+    return slots, inner
+
+
 def fork_available() -> bool:
     """True when this process may create fork-start worker processes."""
     if "fork" not in multiprocessing.get_all_start_methods():

@@ -1,0 +1,32 @@
+"""Analysis service layer: store + scheduler + HTTP API.
+
+The paper's output — an application-specific peak power/energy bound —
+is computed once per application and then reused for harvester/battery
+sizing and power-management decisions.  This package turns the engine of
+PRs 1-4 into a long-lived query service with three layers:
+
+* :mod:`repro.service.store` — a content-addressed artifact store that
+  generalizes the ``.repro_cache`` pickle scheme into keyed, versioned,
+  atomically-written artifacts with integrity digests, hit/miss
+  counters, and a size-capped gc policy (``repro cache stats|gc``).
+* :mod:`repro.service.scheduler` — an async job scheduler that accepts
+  many concurrent analysis requests, dedupes identical in-flight jobs,
+  orders them by priority, and multiplexes them over the host's core
+  budget (jobs x inner workers <= cores, PR 4's non-oversubscription
+  rule) with cancellation and per-job progress events.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  stdlib-only HTTP/JSON API (``repro serve``) and client (``repro
+  submit``) exposing submit/status/result/events/store endpoints, so
+  sizing questions become cheap repeatable queries.
+"""
+
+from repro.service.scheduler import Job, JobScheduler
+from repro.service.store import ArtifactStore, GcReport, StoreStats
+
+__all__ = [
+    "ArtifactStore",
+    "GcReport",
+    "StoreStats",
+    "Job",
+    "JobScheduler",
+]

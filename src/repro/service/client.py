@@ -1,0 +1,149 @@
+"""Stdlib-only client for the analysis service.
+
+``repro submit`` wraps this; it is also importable for scripting::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8437")
+    bound = client.analyze("FFT")          # submit + wait + result
+    print(bound["peak_power_mw"])
+
+Every method returns the decoded JSON payload; HTTP errors raise
+:class:`ServiceError` carrying the status code and the server's error
+payload (which, for an unknown benchmark, lists the valid names).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.service.server import DEFAULT_PORT
+
+DEFAULT_URL = f"http://127.0.0.1:{DEFAULT_PORT}"
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level failure from the service."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        message = payload.get("error") or f"HTTP {status}"
+        super().__init__(f"{message} (HTTP {status})")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    def __init__(
+        self, base_url: str = DEFAULT_URL, timeout: float = 60.0
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        timeout: float | None = None,
+    ) -> dict:
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout
+            ) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as err:
+            raw = err.read() or b"{}"
+            try:
+                payload = json.loads(raw)
+            except ValueError:
+                payload = {"error": raw.decode(errors="replace")}
+            raise ServiceError(err.code, payload) from None
+
+    # -- endpoints ------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def benchmarks(self) -> list[dict]:
+        return self._request("GET", "/v1/benchmarks")["benchmarks"]
+
+    def submit(self, kind: str = "analyze", priority: int = 0, **params) -> dict:
+        """Submit a job; returns ``{job_id, state, deduped}``."""
+        body = {"kind": kind, "priority": priority, **params}
+        return self._request("POST", "/v1/jobs", body)
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str, timeout: float = 300.0) -> dict:
+        """Block until *job_id* is terminal and return its payload.
+
+        The server caps one blocking poll, so long waits loop; the
+        overall *timeout* bounds the total wall clock.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"job {job_id} did not finish within {timeout:.0f}s"
+                )
+            chunk = min(remaining, 30.0)
+            payload = self._request(
+                "GET",
+                f"/v1/jobs/{job_id}/result?wait=1&timeout={chunk:.0f}",
+                timeout=chunk + self.timeout,
+            )
+            if payload.get("state") in ("done", "failed", "cancelled"):
+                return payload
+
+    def events(self, job_id: str, since: int = 0) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/events?since={since}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def store_stats(self) -> dict:
+        return self._request("GET", "/v1/store/stats")
+
+    def store_gc(self, max_mb: float | None = None) -> dict:
+        body = {} if max_mb is None else {"max_mb": max_mb}
+        return self._request("POST", "/v1/store/gc", body)
+
+    # -- conveniences ---------------------------------------------------
+
+    def analyze(
+        self, benchmark: str, priority: int = 0, timeout: float = 300.0
+    ) -> dict:
+        """Submit + wait: the peak power/energy bound for *benchmark*."""
+        job = self.submit("analyze", benchmark=benchmark, priority=priority)
+        return self.result(job["job_id"], timeout=timeout)["result"]
+
+    def stressmark(
+        self,
+        objective: str = "peak",
+        islands: int | None = None,
+        migration_interval: int | None = None,
+        timeout: float = 600.0,
+    ) -> dict:
+        params = {"objective": objective}
+        if islands is not None:
+            params["islands"] = islands
+        if migration_interval is not None:
+            params["migration_interval"] = migration_interval
+        job = self.submit("stressmark", **params)
+        return self.result(job["job_id"], timeout=timeout)["result"]

@@ -1,0 +1,501 @@
+"""Async job scheduler for concurrent analysis requests.
+
+Many clients asking the same sizing questions at once is the service's
+whole workload, so the scheduler is built around three rules:
+
+* **In-flight dedupe** — two requests with the same canonical signature
+  (kind + params, priority excluded) share one :class:`Job` while it is
+  queued or running; the engine runs once and every waiter gets the
+  same result.  Completed jobs do not dedupe: a resubmission becomes a
+  new job that resolves instantly through the artifact store.
+* **Priority queue** — jobs wait in a max-priority heap (FIFO within a
+  priority); a freed slot always goes to the highest-priority request.
+* **Core budget** — at most ``max_concurrent`` jobs run at once, each
+  with ``inner`` engine workers, such that ``max_concurrent * inner``
+  never exceeds the host's cores (PR 4's non-oversubscription rule,
+  via :func:`repro.parallel.pool.service_slots` /
+  :func:`repro.parallel.pool.inner_workers`).
+
+Jobs emit progress events (``queued``/``deduped``/``started``/
+``finished``/...) that the HTTP layer streams incrementally, and queued
+jobs can be cancelled; a running job only gets a best-effort
+``cancel_requested`` flag (the engine's inner loops are not
+interruptible mid-settle).
+
+Jobs execute on scheduler threads inside the server process.  With
+``workers_per_job > 1`` a job spawns the engine's fork-start worker
+pools from this multithreaded process — safe for the pure-computation
+workers the engine forks (they touch no scheduler/HTTP locks), but
+noisy under Python 3.12's fork-in-threads deprecation; a process-pool
+execution backend is the roadmap fix (it also isolates engine crashes).
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: states in which a job no longer dedupes and no longer changes
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: terminal jobs retained for status/result queries before the oldest
+#: are evicted — bounds a long-lived server's memory
+MAX_FINISHED_JOBS = 512
+
+
+def normalize_params(kind: str, params: dict) -> dict:
+    """Resolve defaulted knobs before signing, so requests that spell
+    the same engine run differently (omitted vs explicit defaults)
+    dedupe onto one job instead of running twice."""
+    params = dict(params)
+    if kind == "stressmark":
+        from repro.core.stressmark import resolve_island_knobs
+
+        params.setdefault("objective", "peak")
+        params["islands"], params["migration_interval"] = (
+            resolve_island_knobs(
+                params.get("islands"), params.get("migration_interval")
+            )
+        )
+    return params
+
+
+def job_signature(kind: str, params: dict) -> str:
+    """Canonical dedupe signature: kind + sorted params, priority excluded
+    (a high-priority duplicate should join the in-flight run, not fork
+    a second one)."""
+    return json.dumps(
+        {"kind": kind, "params": params},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+
+
+@dataclass
+class Job:
+    """One analysis request and its lifecycle."""
+
+    id: str
+    kind: str
+    params: dict
+    priority: int
+    signature: str
+    state: str = QUEUED
+    result: dict | None = None
+    error: str | None = None
+    merged: int = 0  # duplicate submissions folded into this job
+    cancel_requested: bool = False
+    created: float = field(default_factory=time.time)
+    finished: float | None = None
+    events: list[dict] = field(default_factory=list)
+    done_event: threading.Event = field(
+        default_factory=threading.Event, repr=False
+    )
+
+    @property
+    def finished_ok(self) -> bool:
+        return self.state == DONE
+
+    def payload(self, include_result: bool = True) -> dict:
+        """JSON view of the job for the HTTP layer."""
+        data = {
+            "job_id": self.id,
+            "kind": self.kind,
+            "params": self.params,
+            "priority": self.priority,
+            "state": self.state,
+            "merged": self.merged,
+            "created": self.created,
+            "finished": self.finished,
+            "n_events": len(self.events),
+        }
+        if self.error is not None:
+            data["error"] = self.error
+        if include_result and self.result is not None:
+            data["result"] = self.result
+        return data
+
+
+@dataclass
+class JobContext:
+    """What an executor sees of its job: progress + budget + cancel."""
+
+    scheduler: "JobScheduler"
+    job: Job
+    workers: int  # inner engine workers this job may use
+
+    def emit(self, stage: str, detail: str = "") -> None:
+        self.scheduler._emit(self.job, stage, detail)
+
+    def cancelled(self) -> bool:
+        return self.job.cancel_requested
+
+
+Executor = Callable[[dict, JobContext], dict]
+
+
+class JobScheduler:
+    """Priority scheduler multiplexing jobs over the host's cores.
+
+    *max_concurrent* ``None`` derives the slot count from the core
+    budget (``cores // inner``); an explicit value is honored verbatim
+    (the caller owns the trade-off) with the inner worker count clamped
+    so ``slots * inner`` still fits the host, exactly like
+    ``run_suite(jobs=, workers=)``.  *executors* maps job kinds to
+    callables ``(params, ctx) -> result dict``; the default set runs
+    the store-backed benchmark pipeline (see :func:`default_executors`).
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int | None = None,
+        workers_per_job: int | None = None,
+        executors: dict[str, Executor] | None = None,
+        max_finished_jobs: int = MAX_FINISHED_JOBS,
+    ) -> None:
+        from repro.parallel.pool import inner_workers, service_slots
+
+        if max_concurrent is None:
+            self.max_concurrent, self.workers_per_job = service_slots(
+                workers_per_job=workers_per_job
+            )
+        else:
+            if max_concurrent < 1:
+                message = f"max_concurrent must be >= 1, got {max_concurrent}"
+                raise ValueError(message)
+            self.max_concurrent = max_concurrent
+            self.workers_per_job = inner_workers(max_concurrent, workers_per_job)
+        self.executors = (
+            dict(executors) if executors is not None else default_executors()
+        )
+        self.max_finished_jobs = max_finished_jobs
+        self._cond = threading.Condition()
+        self._queue: list[tuple[int, int, Job]] = []  # (-priority, seq, job)
+        self._finished_order: list[str] = []  # eviction FIFO
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[str, Job] = {}  # signature -> queued/running job
+        self._running = 0
+        self._seq = 0
+        self._stop = False
+        self._workers: set[threading.Thread] = set()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-scheduler", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- public API -----------------------------------------------------
+
+    def submit(
+        self, kind: str, params: dict | None = None, priority: int = 0
+    ) -> tuple[Job, bool]:
+        """Enqueue a request; return ``(job, deduped)``.
+
+        *deduped* is true when an identical request was already in
+        flight and this submission joined it instead of creating a new
+        job.
+        """
+        if kind not in self.executors:
+            known = ", ".join(sorted(self.executors))
+            raise KeyError(f"unknown job kind {kind!r}; valid kinds: {known}")
+        params = normalize_params(kind, params or {})
+        signature = job_signature(kind, params)
+        with self._cond:
+            if self._stop:
+                raise RuntimeError("scheduler is shut down")
+            existing = self._inflight.get(signature)
+            if existing is not None and existing.state not in TERMINAL_STATES:
+                existing.merged += 1
+                self._emit_locked(
+                    existing, "deduped",
+                    f"identical request joined in-flight job ({existing.merged} merged)",
+                )
+                if existing.state == QUEUED and priority > existing.priority:
+                    # the joined waiter's urgency transfers to the shared
+                    # job: re-push at the higher priority (the stale heap
+                    # entry is skipped when popped — state check below)
+                    existing.priority = priority
+                    self._seq += 1
+                    heapq.heappush(
+                        self._queue, (-priority, self._seq, existing)
+                    )
+                    self._emit_locked(
+                        existing, "priority_raised", f"to {priority}"
+                    )
+                    self._cond.notify_all()
+                return existing, True
+            self._seq += 1
+            job = Job(
+                id=f"job-{self._seq:05d}",
+                kind=kind,
+                params=params,
+                priority=priority,
+                signature=signature,
+            )
+            self._jobs[job.id] = job
+            self._inflight[signature] = job
+            heapq.heappush(self._queue, (-priority, self._seq, job))
+            self._emit_locked(job, "queued", f"priority {priority}")
+            self._cond.notify_all()
+        return job, False
+
+    def get(self, job_id: str) -> Job:
+        with self._cond:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+
+    def jobs(self) -> list[Job]:
+        with self._cond:
+            return list(self._jobs.values())
+
+    def wait(self, job_id: str, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state (or timeout)."""
+        return self.get(job_id).done_event.wait(timeout)
+
+    def events_since(self, job_id: str, since: int = 0) -> list[dict]:
+        """Progress events with sequence numbers >= *since* (the
+        streaming contract: poll with the last ``next`` cursor)."""
+        job = self.get(job_id)
+        with self._cond:
+            return [event for event in job.events if event["seq"] >= since]
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job.  Queued jobs die immediately (returns True) —
+        unless other submissions were deduped onto them, in which case
+        one waiter is peeled off and the shared job survives (returns
+        False); running jobs only get the best-effort flag (returns
+        False); terminal jobs are left untouched (returns False)."""
+        job = self.get(job_id)
+        with self._cond:
+            if job.state == QUEUED:
+                if job.merged > 0:
+                    job.merged -= 1
+                    self._emit_locked(
+                        job, "cancel_merged",
+                        f"one waiter cancelled, {job.merged + 1} remain",
+                    )
+                    return False
+                job.cancel_requested = True
+                self._finish_locked(job, CANCELLED, error="cancelled while queued")
+                return True
+            if job.state == RUNNING:
+                job.cancel_requested = True
+                self._emit_locked(job, "cancel_requested", "best effort: job is running")
+                return False
+            return False
+
+    def shutdown(self, wait: bool = True, timeout: float | None = 10.0) -> None:
+        """Stop dispatching, cancel everything queued, join workers."""
+        with self._cond:
+            self._stop = True
+            for _, _, job in self._queue:
+                if job.state == QUEUED:
+                    self._finish_locked(
+                        job, CANCELLED, error="scheduler shut down"
+                    )
+            self._queue.clear()
+            self._cond.notify_all()
+            workers = list(self._workers)
+        self._dispatcher.join(timeout)
+        if wait:
+            for worker in workers:
+                worker.join(timeout)
+
+    def counts(self) -> dict[str, int]:
+        with self._cond:
+            counts = {
+                QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0, CANCELLED: 0
+            }
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            return counts
+
+    # -- dispatch -------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._stop and not (
+                    self._queue and self._running < self.max_concurrent
+                ):
+                    self._cond.wait()
+                if self._stop:
+                    return
+                _, _, job = heapq.heappop(self._queue)
+                if job.state != QUEUED:  # cancelled while waiting
+                    continue
+                job.state = RUNNING
+                self._running += 1
+                self._emit_locked(
+                    job, "started",
+                    f"slot {self._running}/{self.max_concurrent}, "
+                    f"{self.workers_per_job} inner workers",
+                )
+                worker = threading.Thread(
+                    target=self._run_job, args=(job,),
+                    name=f"repro-{job.id}", daemon=True,
+                )
+                self._workers.add(worker)
+            worker.start()
+
+    def _run_job(self, job: Job) -> None:
+        ctx = JobContext(self, job, self.workers_per_job)
+        try:
+            result = self.executors[job.kind](job.params, ctx)
+        except Exception as exc:  # a failed job must not kill the service
+            detail = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            with self._cond:
+                self._running -= 1
+                self._workers.discard(threading.current_thread())
+                self._finish_locked(job, FAILED, error=detail)
+                self._cond.notify_all()
+            return
+        with self._cond:
+            self._running -= 1
+            self._workers.discard(threading.current_thread())
+            self._finish_locked(job, DONE, result=result)
+            self._cond.notify_all()
+
+    # -- locked helpers -------------------------------------------------
+
+    def _emit(self, job: Job, stage: str, detail: str = "") -> None:
+        with self._cond:
+            self._emit_locked(job, stage, detail)
+
+    def _emit_locked(self, job: Job, stage: str, detail: str) -> None:
+        job.events.append(
+            {
+                "seq": len(job.events),
+                "ts": time.time(),
+                "stage": stage,
+                "detail": detail,
+            }
+        )
+
+    def _finish_locked(
+        self,
+        job: Job,
+        state: str,
+        result: dict | None = None,
+        error: str | None = None,
+    ) -> None:
+        # result/error land before the state flips terminal: the HTTP
+        # layer reads jobs without the lock, and a terminal state with a
+        # still-missing result would be misreported as cancelled/failed
+        job.result = result
+        job.error = error
+        job.finished = time.time()
+        job.state = state
+        self._emit_locked(job, "finished" if state == DONE else state, error or "")
+        if self._inflight.get(job.signature) is job:
+            del self._inflight[job.signature]
+        job.done_event.set()
+        self._finished_order.append(job.id)
+        while len(self._finished_order) > self.max_finished_jobs:
+            stale_id = self._finished_order.pop(0)
+            stale = self._jobs.get(stale_id)
+            if stale is not None and stale.state in TERMINAL_STATES:
+                del self._jobs[stale_id]
+
+
+# ----------------------------------------------------------------------
+# Default executors: the store-backed benchmark pipeline
+# ----------------------------------------------------------------------
+
+def _analysis_payload(result) -> dict:
+    """JSON result for one benchmark's X-based analysis
+    (:class:`repro.bench.runner.BenchmarkResults`)."""
+    return {
+        "kind": "analysis",
+        "benchmark": result.name,
+        "peak_power_mw": result.peak_power_mw,
+        "peak_energy_pj": result.peak_energy_pj,
+        "npe_pj_per_cycle": result.npe_pj_per_cycle,
+        "path_cycles": result.path_cycles,
+        "n_segments": result.n_segments,
+        "avg_peak_trace_mw": result.avg_peak_trace_mw,
+    }
+
+
+def _require_benchmark(params: dict) -> str:
+    from repro.bench.suite import ALL_BENCHMARKS
+
+    name = params.get("benchmark")
+    if name not in ALL_BENCHMARKS:
+        valid = ", ".join(sorted(ALL_BENCHMARKS))
+        raise KeyError(f"unknown benchmark {name!r}; valid names: {valid}")
+    return name
+
+
+def run_analyze_job(params: dict, ctx: JobContext) -> dict:
+    """Input-independent peak power/energy bound for one benchmark,
+    resolved through the artifact store (cold runs fill it, warm runs
+    are pure lookups)."""
+    from repro.bench import runner
+
+    name = _require_benchmark(params)
+    ctx.emit("resolve", f"x_based({name!r}), workers={ctx.workers}")
+    result = runner.x_based(name, workers=ctx.workers)
+    return _analysis_payload(result)
+
+
+def run_profile_job(params: dict, ctx: JobContext) -> dict:
+    """Guardbanded input-profiling baseline for one benchmark."""
+    from repro.bench import runner
+    from repro.core.baselines import GUARDBAND
+
+    name = _require_benchmark(params)
+    ctx.emit("resolve", f"profiling({name!r})")
+    profile = runner.profiling(name)
+    return {
+        "kind": "profiling",
+        "benchmark": name,
+        "n_input_sets": len(profile.runs),
+        "observed_peak_power_mw": profile.observed_peak_power_mw,
+        "guardbanded_peak_power_mw": profile.guardbanded_peak_power_mw,
+        "guardband": GUARDBAND,
+    }
+
+
+def run_stressmark_job(params: dict, ctx: JobContext) -> dict:
+    """GA stressmark for this core (islands knobs reachable per job)."""
+    from repro.bench import runner
+
+    objective = params.get("objective", "peak")
+    ctx.emit("resolve", f"stressmark({objective!r})")
+    mark = runner.stressmark(
+        objective,
+        islands=params.get("islands"),
+        migration_interval=params.get("migration_interval"),
+        workers=ctx.workers,
+    )
+    return {
+        "kind": "stressmark",
+        "objective": objective,
+        "peak_power_mw": mark.peak_power_mw,
+        "avg_power_mw": mark.avg_power_mw,
+        "source": mark.source,
+    }
+
+
+def default_executors() -> dict[str, Executor]:
+    return {
+        "analyze": run_analyze_job,
+        "profile": run_profile_job,
+        "stressmark": run_stressmark_job,
+    }

@@ -1,0 +1,310 @@
+"""Stdlib-only HTTP/JSON API over the scheduler and the artifact store.
+
+Endpoints (all JSON)::
+
+    GET    /healthz                      liveness + job counts
+    GET    /v1/benchmarks                the Table 4.1 registry
+    POST   /v1/jobs                      submit {kind, benchmark?, priority?, ...}
+    GET    /v1/jobs                      list jobs (results elided)
+    GET    /v1/jobs/<id>                 one job, result included when done
+    GET    /v1/jobs/<id>/result?wait=1&timeout=N   block until terminal
+    GET    /v1/jobs/<id>/events?since=N  incremental progress stream
+    DELETE /v1/jobs/<id>                 cancel (queued: immediate)
+    GET    /v1/store/stats               artifact-store stats + counters
+    POST   /v1/store/gc                  {"max_mb": N} -> gc report
+
+``repro serve`` wraps :func:`serve`; :mod:`repro.service.client` is the
+matching client.  The server is a ``ThreadingHTTPServer`` so a blocked
+``result?wait=1`` poll never starves other clients; the actual engine
+concurrency is owned by the scheduler's slot budget, not by HTTP
+threads.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.scheduler import FAILED, TERMINAL_STATES, JobScheduler
+
+#: default TCP port for ``repro serve`` / ``repro submit``
+DEFAULT_PORT = 8437
+
+#: cap on a single blocking result wait; clients poll past it
+MAX_WAIT_S = 120.0
+
+
+class AnalysisService:
+    """The server-side bundle: one scheduler + the artifact store."""
+
+    def __init__(
+        self,
+        scheduler: JobScheduler | None = None,
+        store=None,
+        max_jobs: int | None = None,
+        workers_per_job: int | None = None,
+    ) -> None:
+        self.scheduler = scheduler or JobScheduler(
+            max_concurrent=max_jobs, workers_per_job=workers_per_job
+        )
+        self._store = store
+
+    @property
+    def store(self):
+        """The artifact store (late-bound to the runner's active root,
+        so a relocated cache dir is picked up without a restart)."""
+        if self._store is not None:
+            return self._store
+        from repro.bench import runner
+
+        return runner.artifact_store()
+
+    def close(self) -> None:
+        self.scheduler.shutdown()
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, message: str, **extra) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = {"error": message, **extra}
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> AnalysisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- plumbing -------------------------------------------------------
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    @staticmethod
+    def _number(query: dict, key: str, default: float) -> float:
+        """Parse a numeric query parameter; malformed input is the
+        client's fault (400), not an internal error."""
+        raw = query.get(key)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            raise _HTTPError(400, f"{key} must be a number, got {raw!r}") from None
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        try:
+            body = json.loads(self.rfile.read(length) or b"{}")
+        except ValueError:
+            raise _HTTPError(400, "request body is not valid JSON") from None
+        if not isinstance(body, dict):
+            raise _HTTPError(400, "request body must be a JSON object")
+        return body
+
+    def _dispatch(self, method: str) -> None:
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        query = {
+            key: values[-1] for key, values in parse_qs(parsed.query).items()
+        }
+        try:
+            payload, status = self._route(method, parts, query)
+        except _HTTPError as err:
+            self._send_json(err.payload, err.status)
+        except KeyError as err:
+            self._send_json({"error": str(err).strip("'\"")}, 404)
+        except Exception as err:  # pragma: no cover - defensive surface
+            self._send_json({"error": f"internal error: {err}"}, 500)
+        else:
+            self._send_json(payload, status)
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+    # -- routes ---------------------------------------------------------
+
+    def _route(
+        self, method: str, parts: list[str], query: dict
+    ) -> tuple[dict, int]:
+        scheduler = self.service.scheduler
+        if method == "GET" and parts == ["healthz"]:
+            return {
+                "ok": True,
+                "jobs": scheduler.counts(),
+                "max_concurrent": scheduler.max_concurrent,
+                "workers_per_job": scheduler.workers_per_job,
+            }, 200
+        if parts[:1] != ["v1"]:
+            raise _HTTPError(404, f"no such endpoint: {self.path}")
+        parts = parts[1:]
+
+        if method == "GET" and parts == ["benchmarks"]:
+            from repro.bench.suite import ALL_BENCHMARKS
+
+            return {
+                "benchmarks": [
+                    {
+                        "name": b.name,
+                        "category": b.category,
+                        "description": b.description,
+                    }
+                    for b in ALL_BENCHMARKS.values()
+                ]
+            }, 200
+
+        if parts[:1] == ["jobs"]:
+            return self._route_jobs(method, parts[1:], query)
+        if parts[:1] == ["store"]:
+            return self._route_store(method, parts[1:])
+        raise _HTTPError(404, f"no such endpoint: {self.path}")
+
+    def _route_jobs(
+        self, method: str, parts: list[str], query: dict
+    ) -> tuple[dict, int]:
+        scheduler = self.service.scheduler
+        if method == "POST" and not parts:
+            from repro.service.scheduler import _require_benchmark
+
+            body = self._read_body()
+            kind = body.pop("kind", "analyze")
+            priority = body.pop("priority", 0)
+            if not isinstance(priority, int):
+                raise _HTTPError(400, "priority must be an integer")
+            try:
+                if kind in ("analyze", "profile"):
+                    _require_benchmark(body)  # fail fast: 400, not a job
+                job, deduped = scheduler.submit(kind, body, priority=priority)
+            except (KeyError, ValueError) as err:
+                # unknown kind / unknown benchmark / invalid knob values:
+                # client error, with the valid names in the message
+                raise _HTTPError(400, str(err).strip("'\"")) from None
+            return {
+                "job_id": job.id,
+                "state": job.state,
+                "deduped": deduped,
+            }, 202
+        if method == "GET" and not parts:
+            return {
+                "jobs": [
+                    job.payload(include_result=False)
+                    for job in scheduler.jobs()
+                ]
+            }, 200
+        if not parts:
+            raise _HTTPError(405, f"{method} not allowed on /v1/jobs")
+
+        job = scheduler.get(parts[0])  # KeyError -> 404
+        if method == "GET" and len(parts) == 1:
+            return job.payload(), 200
+        if method == "DELETE" and len(parts) == 1:
+            cancelled = scheduler.cancel(job.id)
+            return {
+                "job_id": job.id,
+                "state": job.state,
+                "cancelled": cancelled,
+                "cancel_requested": job.cancel_requested,
+            }, 200
+        if method == "GET" and parts[1:] == ["result"]:
+            if query.get("wait", "1") not in ("0", "false"):
+                timeout = min(
+                    self._number(query, "timeout", 30.0), MAX_WAIT_S
+                )
+                scheduler.wait(job.id, timeout=timeout)
+            if job.state not in TERMINAL_STATES:
+                return job.payload(include_result=False), 202
+            if job.state == FAILED:
+                raise _HTTPError(
+                    500, f"job {job.id} failed: {job.error}", job_id=job.id
+                )
+            if job.result is None:  # cancelled
+                raise _HTTPError(
+                    409, f"job {job.id} was cancelled", job_id=job.id
+                )
+            return job.payload(), 200
+        if method == "GET" and parts[1:] == ["events"]:
+            since = int(self._number(query, "since", 0))
+            events = scheduler.events_since(job.id, since)
+            return {
+                "job_id": job.id,
+                "state": job.state,
+                "events": events,
+                "next": events[-1]["seq"] + 1 if events else since,
+            }, 200
+        raise _HTTPError(404, f"no such endpoint: {self.path}")
+
+    def _route_store(self, method: str, parts: list[str]) -> tuple[dict, int]:
+        store = self.service.store
+        if method == "GET" and parts == ["stats"]:
+            return store.stats().to_dict(), 200
+        if method == "POST" and parts == ["gc"]:
+            body = self._read_body()
+            max_mb = body.get("max_mb")
+            if max_mb is not None and not isinstance(max_mb, (int, float)):
+                raise _HTTPError(400, "max_mb must be a number")
+            return store.gc(max_mb=max_mb).to_dict(), 200
+        raise _HTTPError(404, f"no such endpoint: {self.path}")
+
+
+def make_server(
+    service: AnalysisService,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server to *host*:*port* (0 = ephemeral)."""
+    server = ThreadingHTTPServer((host, port), ServiceRequestHandler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    max_jobs: int | None = None,
+    workers_per_job: int | None = None,
+    verbose: bool = True,
+) -> int:
+    """Run the analysis service until interrupted (the CLI entry)."""
+    service = AnalysisService(
+        max_jobs=max_jobs, workers_per_job=workers_per_job
+    )
+    server = make_server(service, host, port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"repro service on http://{bound_host}:{bound_port} "
+        f"({service.scheduler.max_concurrent} job slots x "
+        f"{service.scheduler.workers_per_job} workers, "
+        f"store {service.store.root})"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0

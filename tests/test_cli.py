@@ -68,3 +68,135 @@ class TestCli:
         assert main(["coi", program_file, "--count", "3"]) == 0
         out = capsys.readouterr().out
         assert "executing" in out
+
+
+class TestUnknownBenchmarkErrors:
+    """`suite`/`bench` typos exit 2 with the valid names, no traceback."""
+
+    def test_suite_unknown_name(self, capsys):
+        assert main(["suite", "--benchmarks", "nosuchbench"]) == 2
+        err = capsys.readouterr().err
+        assert "nosuchbench" in err
+        assert "mult" in err and "Viterbi" in err  # lists valid names
+        assert "Traceback" not in err
+
+    def test_suite_mixed_known_and_unknown(self, capsys):
+        assert main(["suite", "--benchmarks", "mult,typo1,typo2"]) == 2
+        err = capsys.readouterr().err
+        assert "'typo1'" in err and "'typo2'" in err
+
+    def test_suite_empty_selection(self, capsys):
+        assert main(["suite", "--benchmarks", ","]) == 2
+        assert "selected nothing" in capsys.readouterr().err
+
+    def test_bench_unknown_name(self, capsys):
+        assert main(["bench", "--benchmarks", "nosuchbench"]) == 2
+        err = capsys.readouterr().err
+        assert "nosuchbench" in err and "mult" in err
+
+    def test_submit_validates_before_the_network(self, capsys):
+        # an unknown benchmark never leaves the process (no server here)
+        assert main(
+            ["submit", "nosuchbench", "--url", "http://127.0.0.1:1"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "nosuchbench" in err and "mult" in err
+
+
+class TestServiceCli:
+    def test_submit_unreachable_server_fails_cleanly(self, capsys):
+        assert main(
+            ["submit", "mult", "--url", "http://127.0.0.1:1", "--timeout", "2"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "repro serve" in err
+
+    def test_submit_slow_job_is_not_reported_as_down(self, capsys,
+                                                     monkeypatch):
+        """A result-wait timeout must say 'still running', not blame a
+        dead server (TimeoutError is an OSError subclass — order
+        matters in the handler)."""
+        from repro.service import client as client_mod
+
+        def fake_submit(self, kind="analyze", priority=0, **params):
+            return {"job_id": "job-00001", "state": "queued"}
+
+        def fake_result(self, job_id, timeout=300.0):
+            raise TimeoutError(
+                f"job {job_id} did not finish within {timeout:.0f}s"
+            )
+
+        monkeypatch.setattr(client_mod.ServiceClient, "submit", fake_submit)
+        monkeypatch.setattr(client_mod.ServiceClient, "result", fake_result)
+        assert main(["submit", "mult", "--timeout", "1"]) == 1
+        err = capsys.readouterr().err
+        assert "may still be running" in err
+        assert "repro serve" not in err
+
+    def test_islands_flags_exported(self, monkeypatch, capsys):
+        import os
+
+        monkeypatch.setenv("REPRO_ISLANDS", "")
+        monkeypatch.setenv("REPRO_MIGRATION_INTERVAL", "")
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert main(
+            ["suite", "--benchmarks", "mult", "--jobs", "1",
+             "--islands", "3", "--migration-interval", "4"]
+        ) == 0
+        assert os.environ["REPRO_ISLANDS"] == "3"
+        assert os.environ["REPRO_MIGRATION_INTERVAL"] == "4"
+
+
+class TestCacheCli:
+    @pytest.fixture
+    def isolated_store(self, tmp_path, monkeypatch):
+        from repro.bench import runner
+
+        monkeypatch.setattr(runner, "CACHE_DIR", tmp_path / "cache")
+        monkeypatch.setattr(runner, "_store", None)
+        yield runner
+        for key in list(runner._memory_cache):
+            if key.startswith("unit_"):
+                runner._memory_cache.pop(key)
+        runner._store = None
+
+    def test_cache_stats(self, isolated_store, capsys):
+        runner = isolated_store
+        runner._cached("unit_cli_key", lambda: {"v": 1})
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 1" in out
+        assert str(runner.CACHE_DIR) in out
+
+    def test_cache_gc_with_cap(self, isolated_store, capsys):
+        runner = isolated_store
+        runner._cached("unit_cli_key", lambda: {"v": 1})
+        runner._memory_cache.pop("unit_cli_key")
+        assert main(["cache", "gc", "--max-mb", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 artifacts" in out
+        assert not list(runner.CACHE_DIR.glob("*.pkl"))
+
+    def test_cache_gc_collects_legacy_entries(self, isolated_store, capsys):
+        import pickle
+
+        runner = isolated_store
+        runner.CACHE_DIR.mkdir(parents=True)
+        (runner.CACHE_DIR / "xbased_FFT.pkl").write_bytes(
+            pickle.dumps("seed-era entry")
+        )
+        assert main(["cache", "stats"]) == 0
+        assert "1 legacy" in capsys.readouterr().out
+        assert main(["cache", "gc"]) == 0
+        assert "removed 1 artifacts" in capsys.readouterr().out
+        assert not (runner.CACHE_DIR / "xbased_FFT.pkl").exists()
+
+    def test_cache_explicit_store_dir(self, tmp_path, capsys, monkeypatch):
+        from repro.bench import runner
+
+        monkeypatch.setattr(runner, "_store", None)
+        monkeypatch.setattr(runner, "CACHE_DIR", tmp_path / "unused")
+        target = tmp_path / "elsewhere"
+        assert main(["cache", "--store", str(target), "stats"]) == 0
+        assert str(target) in capsys.readouterr().out
+        runner._store = None

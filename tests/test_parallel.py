@@ -331,3 +331,70 @@ class TestKnobResolution:
 
         cores = os.cpu_count() or 1
         assert inner_workers(cores * 2, workers=8) == 1
+
+
+class TestIslandKnobResolution:
+    """`--islands`/`--migration-interval` resolve like every other knob:
+    explicit arg > env var > classic defaults — and the env path evolves
+    the exact same stressmark as the explicit path."""
+
+    def test_defaults(self, monkeypatch):
+        from repro.core.stressmark import resolve_island_knobs
+
+        monkeypatch.delenv("REPRO_ISLANDS", raising=False)
+        monkeypatch.delenv("REPRO_MIGRATION_INTERVAL", raising=False)
+        assert resolve_island_knobs() == (1, 2)
+        assert resolve_island_knobs(4, 3) == (4, 3)
+
+    def test_env_resolution_and_validation(self, monkeypatch):
+        from repro.core.stressmark import resolve_island_knobs
+
+        monkeypatch.setenv("REPRO_ISLANDS", "5")
+        monkeypatch.setenv("REPRO_MIGRATION_INTERVAL", "7")
+        assert resolve_island_knobs() == (5, 7)
+        assert resolve_island_knobs(2) == (2, 7)  # explicit wins
+        monkeypatch.setenv("REPRO_ISLANDS", "many")
+        with pytest.raises(ValueError, match="REPRO_ISLANDS"):
+            resolve_island_knobs()
+        monkeypatch.setenv("REPRO_ISLANDS", "0")
+        with pytest.raises(ValueError, match="islands"):
+            resolve_island_knobs()
+        with pytest.raises(ValueError, match="migration_interval"):
+            resolve_island_knobs(1, 0)
+
+    def test_env_matches_explicit_evolution(self, cpu, model, monkeypatch):
+        kwargs = dict(population=4, generations=2, genome_length=6)
+        explicit = generate_stressmark(
+            cpu, model, islands=2, migration_interval=1, **kwargs
+        )
+        monkeypatch.setenv("REPRO_ISLANDS", "2")
+        monkeypatch.setenv("REPRO_MIGRATION_INTERVAL", "1")
+        via_env = generate_stressmark(cpu, model, **kwargs)
+        assert via_env.source == explicit.source
+        assert via_env.peak_power_mw == explicit.peak_power_mw
+
+    def test_runner_stressmark_keys_island_schedules(self, tmp_path,
+                                                     monkeypatch):
+        """Different island schedules cache under different keys (they
+        evolve different winners); workers stay out of the key."""
+        from repro.bench import runner
+
+        monkeypatch.setattr(runner, "CACHE_DIR", tmp_path / "cache")
+        monkeypatch.setattr(runner, "_store", None)
+        seen = []
+
+        def fake_cached(key, compute):
+            seen.append(key)
+            return "marker"
+
+        monkeypatch.setattr(runner, "_cached", fake_cached)
+        runner.stressmark("peak")
+        runner.stressmark("peak", islands=3, migration_interval=2)
+        runner.stressmark("peak", islands=3, migration_interval=2, workers=4)
+        # one island never migrates: any interval is the classic artifact
+        runner.stressmark("peak", islands=1, migration_interval=4)
+        assert seen[0] == "stressmark_peak"
+        assert seen[1] == "stressmark_peak_i3m2"
+        assert seen[2] == seen[1]
+        assert seen[3] == seen[0]
+        runner._store = None

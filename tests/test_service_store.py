@@ -1,0 +1,302 @@
+"""Artifact store: integrity, concurrency, stats, and gc policy.
+
+The store is the service's persistence layer and the runner's cache
+backend, so these tests pin the properties everything above relies on:
+atomic publishes (two processes racing on one key never produce a torn
+read), digest-verified reads (corruption is a miss, not a wrong
+answer), and a gc that understands legacy seed-era entries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.service.store import ArtifactStore, content_digest
+
+FP = "0123456789abcdef"  # a syntactically valid 16-hex fingerprint
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store", fingerprint=FP)
+
+
+class TestRoundTrip:
+    def test_put_get_roundtrip(self, store):
+        digest = store.put("xbased_demo", {"peak": 2.5, "trace": [1, 2, 3]})
+        assert store.get("xbased_demo") == {"peak": 2.5, "trace": [1, 2, 3]}
+        path = store.path_for("xbased_demo")
+        assert path.name == f"xbased_demo-{FP}.pkl"
+        assert content_digest(path.read_bytes()) == digest
+
+    def test_payload_bytes_are_plain_pickle(self, store):
+        """The artifact file is byte-identical to ``pickle.dumps`` — the
+        pre-store ``bench/runner`` cache format."""
+        value = {"name": "mult", "peak_power_mw": 2.42}
+        store.put("xbased_mult", value)
+        raw = store.path_for("xbased_mult").read_bytes()
+        assert raw == pickle.dumps(value)
+        assert pickle.loads(raw) == value
+
+    def test_miss_raises_and_counts(self, store):
+        with pytest.raises(KeyError):
+            store.get("absent")
+        assert store.counters.misses == 1
+        assert store.counters.hits_disk == 0
+
+    def test_get_or_compute_computes_once(self, store):
+        calls = {"n": 0}
+
+        def compute():
+            calls["n"] += 1
+            return calls["n"]
+
+        assert store.get_or_compute("unit_key", compute) == 1
+        assert store.get_or_compute("unit_key", compute) == 1
+        assert calls["n"] == 1
+        assert store.counters.writes == 1
+        assert store.counters.hits_disk == 1
+
+    def test_fingerprint_versions_keys(self, store, tmp_path):
+        store.put("k", "old")
+        other = ArtifactStore(store.root, fingerprint="f" * 16)
+        with pytest.raises(KeyError):
+            other.get("k")
+        other.put("k", "new")
+        assert store.get("k") == "old"  # both versions coexist
+        assert other.get("k") == "new"
+
+    def test_callable_fingerprint_is_late_bound(self, tmp_path):
+        current = {"fp": FP}
+        store = ArtifactStore(tmp_path, fingerprint=lambda: current["fp"])
+        store.put("k", 1)
+        current["fp"] = "f" * 16
+        with pytest.raises(KeyError):
+            store.get("k")  # the bumped fingerprint misses the old entry
+
+
+class TestIntegrity:
+    def test_corrupt_payload_is_a_miss(self, store):
+        store.put("unit_key", [1, 2, 3])
+        path = store.path_for("unit_key")
+        path.write_bytes(b"garbage that is not the published pickle")
+        with pytest.raises(KeyError):
+            store.get("unit_key")
+        assert store.counters.corrupt == 1
+        # ... and the caller's recompute heals the entry in place
+        assert store.get_or_compute("unit_key", lambda: [4, 5]) == [4, 5]
+        assert store.get("unit_key") == [4, 5]
+
+    def test_corrupt_file_is_not_deleted_by_reader(self, store):
+        """A digest mismatch must never unlink the file: in a racy
+        pairing of new bytes with an old sidecar, deletion would destroy
+        a concurrently-published good artifact."""
+        store.put("unit_key", "value")
+        path = store.path_for("unit_key")
+        path.write_bytes(b"torn")
+        with pytest.raises(KeyError):
+            store.get("unit_key")
+        assert path.exists()
+
+    def test_warm_read_survives_unwritable_store(self, store, monkeypatch):
+        """A read-only/full store must still serve hits: the hit-path
+        sidecar bookkeeping is best-effort, not load-bearing."""
+        store.put("unit_key", "warm value")
+
+        def deny_write(path, meta):
+            raise PermissionError("read-only store")
+
+        monkeypatch.setattr(store, "_write_meta", deny_write)
+        assert store.get("unit_key") == "warm value"
+        assert store.counters.hits_disk == 1
+
+    def test_unpicklable_bytes_are_a_miss(self, store):
+        path = store.path_for("unit_key")
+        store.root.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"\x80\x05garbage")  # no sidecar: legacy-shaped
+        with pytest.raises(KeyError):
+            store.get("unit_key")
+        assert store.counters.corrupt == 1
+
+
+def _hammer_writes(root: str, key: str, payload_byte: bytes, n: int) -> None:
+    store = ArtifactStore(root, fingerprint=FP)
+    value = {"tag": payload_byte.decode(), "blob": payload_byte * 65536}
+    for _ in range(n):
+        store.put(key, value)
+
+
+class TestConcurrentWriters:
+    def test_racing_processes_never_publish_torn_artifacts(self, store):
+        """Two processes rewriting one key while a reader polls: every
+        read returns one writer's complete value (digest-verified),
+        never an interleaving."""
+        ctx = multiprocessing.get_context("fork")
+        writers = [
+            ctx.Process(
+                target=_hammer_writes,
+                args=(str(store.root), "unit_race", tag, 40),
+            )
+            for tag in (b"A", b"B")
+        ]
+        store.put("unit_race", {"tag": "A", "blob": b"A" * 65536})
+        for writer in writers:
+            writer.start()
+        observed = set()
+        try:
+            while any(w.is_alive() for w in writers):
+                try:
+                    value = store.get("unit_race")
+                except KeyError:
+                    continue  # transient sidecar race: retried next poll
+                assert value["blob"] == value["tag"].encode() * 65536
+                observed.add(value["tag"])
+        finally:
+            for writer in writers:
+                writer.join(timeout=60)
+        assert all(w.exitcode == 0 for w in writers)
+        final = store.get("unit_race")
+        assert final["blob"] == final["tag"].encode() * 65536
+        assert observed <= {"A", "B"}
+
+    def test_no_scratch_files_survive(self, store):
+        for index in range(5):
+            store.put("unit_key", list(range(index)))
+        assert not list(store.root.glob("*.tmp*"))
+
+
+class TestStatsAndGc:
+    def test_stats_counts_entries_and_kinds(self, store):
+        store.put("xbased_mult", b"x" * 1000)
+        store.put("xbased_FFT", b"y" * 2000)
+        store.put("stressmark_peak", b"z" * 500)
+        stats = store.stats()
+        assert stats.n_entries == 3
+        assert stats.n_legacy == 0
+        assert stats.n_stale == 0
+        assert stats.by_kind == {"xbased": 2, "stressmark": 1}
+        sizes = sum(e.size for e in store.entries())
+        assert stats.total_bytes == sizes
+
+    def test_legacy_entries_are_reported_and_collected(self, store):
+        """Seed-era bare pickles (no fingerprint, no sidecar) show up in
+        stats and are evicted by gc — they can never be read again."""
+        store.root.mkdir(parents=True, exist_ok=True)
+        legacy = store.root / "xbased_FFT.pkl"
+        legacy.write_bytes(pickle.dumps("stale seed value"))
+        store.put("xbased_mult", "fresh")
+        stats = store.stats()
+        assert stats.n_entries == 2
+        assert stats.n_legacy == 1
+        assert stats.n_stale == 1  # legacy counts as stale
+        report = store.gc()
+        assert legacy.name in report.removed
+        assert not legacy.exists()
+        assert store.get("xbased_mult") == "fresh"  # live entry kept
+
+    def test_stale_fingerprints_are_collected_without_a_cap(self, store):
+        old = ArtifactStore(store.root, fingerprint="f" * 16)
+        old.put("xbased_mult", "old-version")
+        store.put("xbased_mult", "current")
+        report = store.gc()
+        assert f"xbased_mult-{'f' * 16}.pkl" in report.removed
+        assert store.get("xbased_mult") == "current"
+
+    def test_size_cap_evicts_least_recently_used(self, store):
+        for name, age in (("a", 30.0), ("b", 20.0), ("c", 10.0)):
+            store.put(f"unit_{name}", b"#" * 8192)
+            # backdate via the sidecar so LRU order is deterministic
+            path = store.path_for(f"unit_{name}")
+            meta = store._read_meta(path)
+            meta["accessed"] = time.time() - age
+            store._write_meta(path, meta)
+        report = store.gc(max_mb=18 * 1024 / (1024 * 1024))  # ~2 entries
+        assert report.kept_entries == 2
+        with pytest.raises(KeyError):
+            store.get("unit_a")  # oldest evicted
+        assert store.get("unit_b") == b"#" * 8192
+        assert store.get("unit_c") == b"#" * 8192
+
+    def test_disk_hits_refresh_recency(self, store):
+        store.put("unit_a", b"#" * 8192)
+        store.put("unit_b", b"#" * 8192)
+        for key in ("unit_a", "unit_b"):
+            path = store.path_for(key)
+            meta = store._read_meta(path)
+            meta["accessed"] = time.time() - 1000.0
+            store._write_meta(path, meta)
+        store.get("unit_a")  # touch: now newer than unit_b
+        report = store.gc(max_mb=9 * 1024 / (1024 * 1024))  # ~1 entry
+        assert report.kept_entries == 1
+        assert store.get("unit_a") == b"#" * 8192
+
+    def test_gc_reaps_abandoned_scratch_files(self, store):
+        store.root.mkdir(parents=True, exist_ok=True)
+        stale_tmp = store.root / "unit_x.pkl.tmp999"
+        stale_tmp.write_bytes(b"abandoned")
+        old = time.time() - 7200
+        os.utime(stale_tmp, (old, old))
+        fresh_tmp = store.root / "unit_y.pkl.tmp123"
+        fresh_tmp.write_bytes(b"in-flight")
+        store.gc()
+        assert not stale_tmp.exists()
+        assert fresh_tmp.exists()  # young scratch may be a live writer
+
+    def test_gc_on_missing_root_is_a_noop(self, store):
+        report = store.gc(max_mb=1)
+        assert report.removed == []
+        assert report.kept_entries == 0
+
+    def test_unversioned_store_gc_keeps_its_own_entries(self, tmp_path):
+        """A fingerprint-less store reads its unversioned entries fine,
+        so gc must not classify them as stale and wipe them."""
+        store = ArtifactStore(tmp_path / "plain")  # fingerprint=None
+        store.put("unit_key", "live value")
+        report = store.gc()
+        assert report.removed == []
+        assert store.get("unit_key") == "live value"
+        assert store.stats().n_stale == 0
+
+
+class TestRunnerIntegration:
+    """The runner's ``_cached`` is now a store client — same disk
+    layout, plus counters the service exposes."""
+
+    @pytest.fixture
+    def isolated_runner(self, tmp_path, monkeypatch):
+        from repro.bench import runner
+
+        monkeypatch.setattr(runner, "CACHE_DIR", tmp_path / "cache")
+        monkeypatch.setattr(runner, "_store", None)
+        yield runner
+        for key in list(runner._memory_cache):
+            if key.startswith("unit_"):
+                runner._memory_cache.pop(key)
+        runner._store = None
+
+    def test_cached_writes_through_the_store(self, isolated_runner):
+        runner = isolated_runner
+        assert runner._cached("unit_store_key", lambda: {"v": 7}) == {"v": 7}
+        store = runner.artifact_store()
+        assert store.get("unit_store_key") == {"v": 7}
+        assert store.counters.writes == 1
+
+    def test_memory_hits_are_counted(self, isolated_runner):
+        runner = isolated_runner
+        runner._cached("unit_mem_key", lambda: 1)
+        runner._cached("unit_mem_key", lambda: 2)
+        assert runner.artifact_store().counters.hits_memory == 1
+
+    def test_store_rebinds_when_cache_dir_moves(self, isolated_runner,
+                                                tmp_path):
+        runner = isolated_runner
+        first = runner.artifact_store()
+        runner.CACHE_DIR = tmp_path / "elsewhere"
+        second = runner.artifact_store()
+        assert second is not first
+        assert second.root == tmp_path / "elsewhere"
