@@ -182,16 +182,20 @@ class BenchmarkResults:
     avg_peak_trace_mw: float
 
 
-def x_based(name: str, workers: int | None = None) -> BenchmarkResults:
+def x_based(
+    name: str, workers: int | None = None, cancel=None
+) -> BenchmarkResults:
     """Cached X-based (our-technique) results for one benchmark.
 
     *workers* only parallelizes a cold compute (the service's per-job
     budget); results — and hence the cache key — are identical at any
-    worker count, so it never fragments the store.
+    worker count, so it never fragments the store.  *cancel* aborts a
+    cold compute at the next engine checkpoint (cache hits return
+    immediately either way); cancellation never publishes an artifact.
     """
 
     def compute() -> BenchmarkResults:
-        report = full_report(name, workers=workers)
+        report = full_report(name, workers=workers, cancel=cancel)
         return BenchmarkResults(
             name=name,
             peak_power_mw=report.peak_power_mw,
@@ -207,11 +211,14 @@ def x_based(name: str, workers: int | None = None) -> BenchmarkResults:
     return _cached(f"xbased_{name}_{_bench_token(benchmark)}", compute)
 
 
-def full_report(name: str, workers: int | None = None) -> AnalysisReport:
+def full_report(
+    name: str, workers: int | None = None, cancel=None
+) -> AnalysisReport:
     """Uncached full analysis (tree included) — for COI/validation flows.
 
     *workers* spreads a cold analysis over that many cores
-    (bit-identical at any count, see :func:`repro.core.api.analyze`).
+    (bit-identical at any count, see :func:`repro.core.api.analyze`);
+    *cancel* threads into the analysis checkpoints.
     """
     key = f"report_{name}"
     if key in _memory_cache:
@@ -222,13 +229,14 @@ def full_report(name: str, workers: int | None = None) -> AnalysisReport:
         benchmark.program(),
         shared_model(),
         workers=workers,
+        cancel=cancel,
         **benchmark.analysis_kwargs(),
     )
     _memory_cache[key] = report
     return report
 
 
-def profiling(name: str) -> ProfilingBaseline:
+def profiling(name: str, cancel=None) -> ProfilingBaseline:
     """Cached guardbanded input-profiling baseline for one benchmark."""
 
     def compute() -> ProfilingBaseline:
@@ -238,6 +246,7 @@ def profiling(name: str) -> ProfilingBaseline:
             benchmark.program(),
             benchmark.input_sets(N_PROFILING_INPUTS),
             shared_model(),
+            cancel=cancel,
         )
 
     benchmark = get_benchmark(name)
@@ -253,6 +262,7 @@ def stressmark(
     islands: int | None = None,
     migration_interval: int | None = None,
     workers: int | None = None,
+    cancel=None,
 ) -> Stressmark:
     """Cached GA stressmark (shared by Figs 5.1/5.2).
 
@@ -277,6 +287,7 @@ def stressmark(
             islands=islands,
             migration_interval=migration_interval,
             workers=workers,
+            cancel=cancel,
         )
 
     key = f"stressmark_{objective}"

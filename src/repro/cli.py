@@ -232,6 +232,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_jobs=args.max_jobs,
         workers_per_job=args.workers,
         verbose=args.verbose,
+        backend=args.backend,
     )
 
 
@@ -441,6 +442,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--workers", type=int, default=None, metavar="N",
                          help="engine workers per job (0 = one per core, "
                               "also $REPRO_WORKERS)")
+    p_serve.add_argument("--backend", choices=("process", "thread"),
+                         default="process",
+                         help="job execution backend: 'process' (default) "
+                              "runs each job in its own worker process — "
+                              "crash isolation and real cancellation; "
+                              "'thread' runs executors in-process")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
     p_serve.set_defaults(func=cmd_serve, engine=None, islands=None,

@@ -180,6 +180,7 @@ def explore(
     batch_size: int | None = None,
     engine: str | None = None,
     workers: int | None = None,
+    cancel=None,
 ) -> ExecutionTree:
     """Run Algorithm 1 for *program* on the gate-level *cpu*.
 
@@ -191,7 +192,11 @@ def explore(
     honors ``REPRO_ENGINE``.  *workers* shards the pending-path queue
     across that many fork-start worker processes (``None`` honors
     ``REPRO_WORKERS``, ``0`` means one per core, 1 stays in-process).
-    Every combination returns the identical tree, bit for bit.
+    Every combination returns the identical tree, bit for bit.  *cancel*
+    is an optional :class:`repro.parallel.cancel.CancelToken` checked
+    between path-queue batches; a set token aborts the exploration with
+    :class:`repro.parallel.cancel.JobCancelled` (results are never
+    altered by cancellation, only abandoned).
 
     Returns the annotated execution tree.  Raises
     :class:`PathExplosionError` when the exploration budget is exceeded and
@@ -210,15 +215,16 @@ def explore(
 
         return explore_sharded(
             cpu, program, max_cycles, max_segments, max_cycles_per_path,
-            max(batch_size, 1), engine, workers,
+            max(batch_size, 1), engine, workers, cancel=cancel,
         )
     if batch_size <= 1:
         return _explore_scalar(
-            cpu, program, max_cycles, max_segments, max_cycles_per_path, engine
+            cpu, program, max_cycles, max_segments, max_cycles_per_path,
+            engine, cancel=cancel,
         )
     return _explore_batched(
         cpu, program, max_cycles, max_segments, max_cycles_per_path,
-        batch_size, engine,
+        batch_size, engine, cancel=cancel,
     )
 
 
@@ -232,6 +238,7 @@ def _explore_scalar(
     max_segments: int,
     max_cycles_per_path: int,
     engine: str | None = None,
+    cancel=None,
 ) -> ExecutionTree:
     machine = cpu.make_machine(program, symbolic_inputs=True, engine=engine)
     flat = Trace(machine.netlist.n_nets)
@@ -248,6 +255,8 @@ def _explore_scalar(
     n_memo_hits = 0
 
     while stack:
+        if cancel is not None:
+            cancel.check()
         pending = stack.pop()
         if len(segments) >= max_segments:
             raise PathExplosionError(
@@ -353,6 +362,7 @@ def _explore_batched(
     max_cycles_per_path: int,
     batch_size: int,
     engine: str | None = None,
+    cancel=None,
 ) -> ExecutionTree:
     machine = cpu.make_machine(program, symbolic_inputs=True, engine=engine)
     batch = BatchMachine(
@@ -392,6 +402,8 @@ def _explore_batched(
 
     refill()
     while batch.lanes:
+        if cancel is not None:
+            cancel.check()
         # Pre-step snapshots: a fork restarts its children from the state
         # *before* the X-condition dispatch cycle (they re-execute it with
         # concrete flags), exactly like the scalar engine's snap_before.

@@ -80,6 +80,7 @@ def analyze(
     batch_size: int | None = None,
     engine: str | None = None,
     workers: int | None = None,
+    cancel=None,
 ) -> AnalysisReport:
     """Full input-independent peak power and energy analysis.
 
@@ -93,6 +94,10 @@ def analyze(
     pending-path queue across worker processes and the Algorithm 2
     kernel threads its row chunks (``None`` honors ``REPRO_WORKERS``,
     ``0`` means one per core).  All combinations are bit-identical.
+    *cancel* (a :class:`repro.parallel.cancel.CancelToken`) threads
+    through both algorithms' inner loops; a set token aborts with
+    :class:`repro.parallel.cancel.JobCancelled` without changing any
+    result that would have been produced.
     """
     from repro.parallel.pool import resolve_workers
 
@@ -105,9 +110,10 @@ def analyze(
         batch_size=batch_size,
         engine=engine,
         workers=workers,
+        cancel=cancel,
     )
     peak_power = compute_peak_power(
-        tree, model, vcd_dir=vcd_dir, workers=workers
+        tree, model, vcd_dir=vcd_dir, workers=workers, cancel=cancel
     )
     peak_energy = compute_peak_energy(tree, peak_power, loop_bound=loop_bound)
     return AnalysisReport(

@@ -100,6 +100,7 @@ def input_profiling(
     model: PowerModel,
     batch_size: int | None = None,
     max_cycles: int = 200_000,
+    cancel=None,
 ) -> ProfilingBaseline:
     """The paper's profiling baseline over several input sets.
 
@@ -108,7 +109,9 @@ def input_profiling(
     concrete runs advance in lock-step on a
     :class:`~repro.sim.batch.BatchMachine`; ``batch_size=1`` runs them one
     at a time on the scalar :class:`~repro.sim.machine.Machine`.  Both
-    produce bit-identical traces, hence identical measurements.
+    produce bit-identical traces, hence identical measurements.  *cancel*
+    (a :class:`repro.parallel.cancel.CancelToken`) is checked between
+    input sets on the scalar path and before the lock-step run.
     """
     from repro.core.activity import default_batch_size
     from repro.sim.batch import run_batch_to_halt
@@ -116,11 +119,16 @@ def input_profiling(
     if batch_size is None:
         batch_size = default_batch_size()
     if batch_size <= 1 or len(input_sets) <= 1:
-        runs = [
-            profile_one(cpu, program, inputs, model, max_cycles=max_cycles)
-            for inputs in input_sets
-        ]
+        runs = []
+        for inputs in input_sets:
+            if cancel is not None:
+                cancel.check()
+            runs.append(
+                profile_one(cpu, program, inputs, model, max_cycles=max_cycles)
+            )
         return ProfilingBaseline(runs=runs)
+    if cancel is not None:
+        cancel.check()
     machines = [
         cpu.make_machine(
             program.with_inputs(inputs), symbolic_inputs=False, port_in=0

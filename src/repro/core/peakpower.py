@@ -181,6 +181,7 @@ def compute_peak_power(
     vcd_dir: str | Path | None = None,
     engine: str = "stacked",
     workers: int | None = None,
+    cancel=None,
 ) -> PeakPowerResult:
     """Run Algorithm 2 over an activity-annotated execution tree.
 
@@ -189,8 +190,12 @@ def compute_peak_power(
     bit-identical results.  *workers* threads the stacked engine's
     transition-energy kernel over row chunks (``None`` honors
     ``REPRO_WORKERS``); chunk results are bit-stable by design, so the
-    thread count never changes a float.  When *vcd_dir* is given, the
-    even- and odd-maximized activity profiles are written as
+    thread count never changes a float.  *cancel* is an optional
+    :class:`repro.parallel.cancel.CancelToken` checked between segment
+    chunks (per parity pass in the stacked engine, per segment in the
+    scalar one); a set token aborts with
+    :class:`repro.parallel.cancel.JobCancelled`.  When *vcd_dir* is
+    given, the even- and odd-maximized activity profiles are written as
     ``even.vcd`` / ``odd.vcd``, mirroring the paper's flow of handing
     two VCD files to the power tool.
     """
@@ -198,9 +203,11 @@ def compute_peak_power(
 
     workers = resolve_workers(workers)
     if engine == "stacked":
-        return _compute_stacked(tree, model, per_module, vcd_dir, workers)
+        return _compute_stacked(
+            tree, model, per_module, vcd_dir, workers, cancel=cancel
+        )
     if engine == "scalar":
-        return _compute_scalar(tree, model, per_module, vcd_dir)
+        return _compute_scalar(tree, model, per_module, vcd_dir, cancel=cancel)
     raise ValueError(f"unknown peak-power engine {engine!r}")
 
 
@@ -325,6 +332,7 @@ def _compute_stacked(
     per_module: bool,
     vcd_dir: str | Path | None,
     workers: int = 1,
+    cancel=None,
 ) -> PeakPowerResult:
     flat = tree.flat_trace
     n_cycles = len(flat)
@@ -352,6 +360,8 @@ def _compute_stacked(
     module_mw = {name: np.empty(n_cycles) for name in module_names}
     profiles: list[np.ndarray] = []
     for parity_mask in (odd_local, ~odd_local):
+        if cancel is not None:
+            cancel.check()
         target_rows = data_rows[parity_mask]
         new_prv, new_cur = _assign_parity_pairs(
             stacked, stacked_active, target_rows, model.max_prev, model.max_cur
@@ -432,6 +442,7 @@ def _compute_scalar(
     model: PowerModel,
     per_module: bool,
     vcd_dir: str | Path | None,
+    cancel=None,
 ) -> PeakPowerResult:
     flat = tree.flat_trace
     values = flat.values_matrix() if len(flat) else np.zeros((0, 0), np.uint8)
@@ -444,6 +455,8 @@ def _compute_scalar(
     module_mw = {name: np.zeros(n_cycles) for name in module_names}
 
     for segment in tree.segments:
+        if cancel is not None:
+            cancel.check()
         if segment.n_cycles == 0:
             continue
         sl, profiles = _segment_profiles(tree, model, segment, values, active)

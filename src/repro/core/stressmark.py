@@ -213,16 +213,24 @@ def evolve_island(
     population: int,
     genome_length: int,
     batch_size: int,
+    cancel=None,
 ) -> Island:
     """Advance one island *generations* steps of the GA loop, in place.
 
     This is the original single-population generation loop verbatim, so
-    ``islands=1`` evolution is bit-identical to the classic GA.
+    ``islands=1`` evolution is bit-identical to the classic GA.  *cancel*
+    is an optional :class:`repro.parallel.cancel.CancelToken` checked
+    between generations; a set token aborts the evolution with
+    :class:`repro.parallel.cancel.JobCancelled` (a ``BaseException``, so
+    the batch-evaluation fallback's broad ``except Exception`` cannot
+    swallow it).
     """
     rng = island.rng
     pool = island.pool
     best = island.best
     for _generation in range(generations):
+        if cancel is not None:
+            cancel.check()
         scores = _evaluate_population(cpu, model, pool, batch_size)
         scored = []
         for genome, (peak, avg) in zip(pool, scores):
@@ -297,6 +305,7 @@ def generate_stressmark(
     islands: int | None = None,
     migration_interval: int | None = None,
     workers: int | None = None,
+    cancel=None,
 ) -> Stressmark:
     """Breed a stressmark targeting ``"peak"`` or ``"average"`` power.
 
@@ -317,7 +326,9 @@ def generate_stressmark(
     ``islands=None``/``migration_interval=None`` honor ``REPRO_ISLANDS``
     and ``REPRO_MIGRATION_INTERVAL`` (the CLI's ``--islands`` /
     ``--migration-interval``), defaulting to the classic single
-    population.
+    population.  *cancel* (a
+    :class:`repro.parallel.cancel.CancelToken`) is checked between GA
+    generations/epochs; cancellation aborts, it never alters scores.
     """
     if objective not in ("peak", "average"):
         raise ValueError("objective must be 'peak' or 'average'")
@@ -333,7 +344,7 @@ def generate_stressmark(
         island = make_island(seed, population, genome_length)
         evolve_island(
             cpu, model, island, objective, generations,
-            population, genome_length, batch_size,
+            population, genome_length, batch_size, cancel=cancel,
         )
         best = island.best
     else:
@@ -348,6 +359,7 @@ def generate_stressmark(
         states = evolve_archipelago(
             cpu, model, states, objective, generations, population,
             genome_length, batch_size, migration_interval, workers,
+            cancel=cancel,
         )
         best = None
         for island in states:  # first island wins ties: deterministic

@@ -1,0 +1,61 @@
+"""Cooperative cancellation for long-running engine loops.
+
+The analysis service needs ``DELETE`` on a running job to actually stop
+the engine, not just flip a flag.  The engine's inner loops — the
+pending-path drain in :func:`repro.core.activity.explore`, the per-
+parity/per-segment passes of :func:`repro.core.peakpower
+.compute_peak_power`, the GA generations in
+:func:`repro.core.stressmark.generate_stressmark` — therefore accept an
+optional :class:`CancelToken` and call :meth:`CancelToken.check` at
+their natural batch boundaries.  A set token raises
+:class:`JobCancelled` out of the loop; an absent token costs one
+``is None`` branch per checkpoint.
+
+The token wraps any event-like object (``threading.Event`` for the
+in-thread execution backend, ``multiprocessing.Event`` for the
+process-pool backend), so the same checkpoints serve both.  Checkpoints
+are *cooperative*: code that never reaches one (a stuck numpy kernel, a
+wedged worker) is covered by the process backend's hard-kill backstop
+(:mod:`repro.service.workers`), not by this module.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class JobCancelled(BaseException):
+    """Raised at a cancellation checkpoint once the token is set.
+
+    Deliberately a :class:`BaseException`: the engine has several broad
+    ``except Exception`` recovery paths (batch-evaluation fallbacks,
+    store compute wrappers) that must not swallow a cancellation on its
+    way out of a deep loop.
+    """
+
+
+class CancelToken:
+    """A set-once cancellation signal shared between a controller and a
+    long-running computation.
+
+    *event* is any object with ``is_set()`` (and, for :meth:`set`,
+    ``set()``): a ``threading.Event`` (the default), a
+    ``multiprocessing.Event`` forwarded into a worker process, or a test
+    double.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event=None) -> None:
+        self._event = event if event is not None else threading.Event()
+
+    def set(self) -> None:
+        self._event.set()
+
+    def is_set(self) -> bool:
+        return bool(self._event.is_set())
+
+    def check(self) -> None:
+        """Raise :class:`JobCancelled` if the token has been set."""
+        if self._event.is_set():
+            raise JobCancelled("cancelled at a cooperative checkpoint")

@@ -254,6 +254,7 @@ def explore_sharded(
     batch_size: int,
     engine: str | None,
     workers: int,
+    cancel=None,
 ) -> ExecutionTree:
     """Run Algorithm 1 with the pending-path queue sharded over *workers*.
 
@@ -263,7 +264,10 @@ def explore_sharded(
     count) and per path in the workers; an exhausted budget raises
     :class:`~repro.core.activity.PathExplosionError`, though — unlike the
     serial engines — the raise may come after more segments have been
-    simulated, since several are in flight at once.
+    simulated, since several are in flight at once.  *cancel* is checked
+    on the master between merge rounds; a set token cancels the pending
+    futures and aborts with :class:`repro.parallel.cancel.JobCancelled`
+    (the pool teardown reaps the worker processes).
     """
     global _CTX
     machine = cpu.make_machine(program, symbolic_inputs=True, engine=engine)
@@ -327,6 +331,10 @@ def explore_sharded(
 
             dispatch()
             while futures:
+                if cancel is not None and cancel.is_set():
+                    for future in futures:
+                        future.cancel()
+                    cancel.check()
                 done, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
                     for packed_node in future.result():

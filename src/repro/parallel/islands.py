@@ -68,6 +68,7 @@ def evolve_archipelago(
     batch_size: int,
     migration_interval: int,
     workers: int | None = None,
+    cancel=None,
 ) -> list:
     """Evolve *states* for *generations* with periodic ring migration.
 
@@ -75,7 +76,9 @@ def evolve_archipelago(
     migrations; the final epoch is truncated to the remaining budget.
     With ``workers > 1`` (and fork available) each epoch's islands are
     evaluated in worker processes; the serial path runs them in order.
-    Both paths produce identical islands.
+    Both paths produce identical islands.  *cancel* is checked at epoch
+    boundaries in the master (tokens do not cross the fork boundary —
+    worker epochs are bounded, so the check latency is one epoch).
     """
     from repro.parallel.pool import fork_available, fork_context, resolve_workers
 
@@ -96,6 +99,8 @@ def evolve_archipelago(
             )
         try:
             while done < generations:
+                if cancel is not None:
+                    cancel.check()
                 span = min(migration_interval, generations - done)
                 common = (objective, span, population, genome_length, batch_size)
                 tasks = [(island, *common) for island in states]

@@ -20,8 +20,9 @@ PRs 1-4 into a long-lived query service with three layers:
   sizing questions become cheap repeatable queries.
 """
 
-from repro.service.scheduler import Job, JobScheduler
+from repro.service.scheduler import Job, JobScheduler, UnknownJobError
 from repro.service.store import ArtifactStore, GcReport, StoreStats
+from repro.service.workers import ProcessBackend, WorkerCrashed, WorkerError
 
 __all__ = [
     "ArtifactStore",
@@ -29,4 +30,8 @@ __all__ = [
     "StoreStats",
     "Job",
     "JobScheduler",
+    "UnknownJobError",
+    "ProcessBackend",
+    "WorkerCrashed",
+    "WorkerError",
 ]

@@ -35,6 +35,16 @@ class ServiceError(RuntimeError):
         self.payload = payload
 
 
+class JobFailedError(ServiceError):
+    """The awaited job ended FAILED; the server's error text is in
+    :attr:`payload` (``ServiceError`` subclass — ``status`` is 500)."""
+
+
+class JobCancelledError(ServiceError):
+    """The awaited job was cancelled before producing a result
+    (``ServiceError`` subclass — ``status`` is 409)."""
+
+
 class ServiceClient:
     def __init__(
         self, base_url: str = DEFAULT_URL, timeout: float = 60.0
@@ -90,10 +100,16 @@ class ServiceClient:
         return self._request("GET", f"/v1/jobs/{job_id}")
 
     def result(self, job_id: str, timeout: float = 300.0) -> dict:
-        """Block until *job_id* is terminal and return its payload.
+        """Block until *job_id* finishes and return its DONE payload.
 
         The server caps one blocking poll, so long waits loop; the
-        overall *timeout* bounds the total wall clock.
+        overall *timeout* bounds the total wall clock.  A job that ends
+        FAILED raises :class:`JobFailedError` (the server reports it as
+        HTTP 500) and a cancelled job raises :class:`JobCancelledError`
+        (HTTP 409) — this method only ever *returns* a payload with
+        ``state == "done"``.  Other HTTP failures raise plain
+        :class:`ServiceError`, and exceeding *timeout* raises
+        :class:`TimeoutError`.
         """
         deadline = time.monotonic() + timeout
         while True:
@@ -102,13 +118,27 @@ class ServiceClient:
                 raise TimeoutError(
                     f"job {job_id} did not finish within {timeout:.0f}s"
                 )
+            # millisecond resolution: a sub-second remaining budget must
+            # not truncate to timeout=0 and busy-loop out the deadline
             chunk = min(remaining, 30.0)
-            payload = self._request(
-                "GET",
-                f"/v1/jobs/{job_id}/result?wait=1&timeout={chunk:.0f}",
-                timeout=chunk + self.timeout,
-            )
-            if payload.get("state") in ("done", "failed", "cancelled"):
+            try:
+                payload = self._request(
+                    "GET",
+                    f"/v1/jobs/{job_id}/result?wait=1&timeout={chunk:.3f}",
+                    timeout=chunk + self.timeout,
+                )
+            except ServiceError as err:
+                if err.payload.get("job_id") == job_id:
+                    # the *job's* terminal failure, not a transport or
+                    # server-internal error: surface it as a typed error
+                    if err.status == 500:
+                        raise JobFailedError(err.status, err.payload) from None
+                    if err.status == 409:
+                        raise JobCancelledError(
+                            err.status, err.payload
+                        ) from None
+                raise
+            if payload.get("state") == "done":
                 return payload
 
     def events(self, job_id: str, since: int = 0) -> dict:

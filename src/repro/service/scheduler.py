@@ -17,17 +17,30 @@ whole workload, so the scheduler is built around three rules:
   :func:`repro.parallel.pool.inner_workers`).
 
 Jobs emit progress events (``queued``/``deduped``/``started``/
-``finished``/...) that the HTTP layer streams incrementally, and queued
-jobs can be cancelled; a running job only gets a best-effort
-``cancel_requested`` flag (the engine's inner loops are not
-interruptible mid-settle).
+``finished``/...) that the HTTP layer streams incrementally, and jobs
+can be cancelled: queued jobs die immediately, and running jobs are
+interrupted for real — the cancel token trips the engine's cooperative
+checkpoints (:mod:`repro.parallel.cancel`), with the process backend's
+worker kill as the backstop.
 
-Jobs execute on scheduler threads inside the server process.  With
-``workers_per_job > 1`` a job spawns the engine's fork-start worker
-pools from this multithreaded process — safe for the pure-computation
-workers the engine forks (they touch no scheduler/HTTP locks), but
-noisy under Python 3.12's fork-in-threads deprecation; a process-pool
-execution backend is the roadmap fix (it also isolates engine crashes).
+Two execution backends share the same state machine:
+
+* ``backend="thread"`` (the default for a raw ``JobScheduler``) runs
+  executors on scheduler threads inside this process — zero setup cost,
+  in-process store counters, and arbitrary (even unpicklable) executor
+  callables, which is what the test suite wants.  Cancellation of a
+  running job is cooperative-only here.
+* ``backend="process"`` (the default for the HTTP service) runs each
+  job in a **spawn-start worker process**
+  (:class:`repro.service.workers.ProcessBackend`): an engine crash
+  fails one job instead of the server, cancellation has a worker-kill
+  backstop, and the engine's fork-start pools are created from the
+  single-threaded worker instead of this multithreaded process — which
+  retires the Python 3.12+ fork-in-threads hazard this docstring used
+  to have to admit.
+
+Progress events, the jobs × inner-workers core budget, in-flight
+dedupe, and bit-identical results are backend-independent.
 """
 
 from __future__ import annotations
@@ -39,6 +52,8 @@ import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Callable
+
+from repro.parallel.cancel import CancelToken, JobCancelled
 
 QUEUED = "queued"
 RUNNING = "running"
@@ -52,6 +67,16 @@ TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
 #: terminal jobs retained for status/result queries before the oldest
 #: are evicted — bounds a long-lived server's memory
 MAX_FINISHED_JOBS = 512
+
+
+class UnknownJobError(KeyError):
+    """Lookup of a job id the scheduler does not know.
+
+    A :class:`KeyError` subclass so callers may keep catching
+    ``KeyError``, but distinct enough that the HTTP layer can map *this*
+    to 404 without masking genuine server-side ``KeyError`` bugs as
+    "not found".
+    """
 
 
 def normalize_params(kind: str, params: dict) -> dict:
@@ -97,6 +122,11 @@ class Job:
     error: str | None = None
     merged: int = 0  # duplicate submissions folded into this job
     cancel_requested: bool = False
+    #: trips the engine's cooperative checkpoints (and, on the process
+    #: backend, arms the worker-kill backstop)
+    cancel_token: CancelToken = field(
+        default_factory=CancelToken, repr=False
+    )
     created: float = field(default_factory=time.time)
     finished: float | None = None
     events: list[dict] = field(default_factory=list)
@@ -142,6 +172,14 @@ class JobContext:
     def cancelled(self) -> bool:
         return self.job.cancel_requested
 
+    @property
+    def cancel(self) -> CancelToken:
+        """The job's cancel token, for threading into engine loops."""
+        return self.job.cancel_token
+
+    def check_cancelled(self) -> None:
+        self.job.cancel_token.check()
+
 
 Executor = Callable[[dict, JobContext], dict]
 
@@ -156,6 +194,17 @@ class JobScheduler:
     ``run_suite(jobs=, workers=)``.  *executors* maps job kinds to
     callables ``(params, ctx) -> result dict``; the default set runs
     the store-backed benchmark pipeline (see :func:`default_executors`).
+
+    *backend* selects where executors run: ``"thread"`` (scheduler
+    threads in this process, the default) or ``"process"`` (one
+    spawn-start worker process per job — crash isolation and a
+    worker-kill cancellation backstop, see
+    :mod:`repro.service.workers`).  The process backend takes an
+    *executor_factory* — a picklable zero-argument callable rebuilding
+    the executor table inside the worker — instead of an *executors*
+    dict (whose callables would have to cross the process boundary);
+    *kill_grace* is the seconds a cancelled worker gets to reach a
+    cooperative checkpoint before its process group is SIGKILLed.
     """
 
     def __init__(
@@ -164,6 +213,9 @@ class JobScheduler:
         workers_per_job: int | None = None,
         executors: dict[str, Executor] | None = None,
         max_finished_jobs: int = MAX_FINISHED_JOBS,
+        backend: str = "thread",
+        executor_factory: Callable[[], dict[str, Executor]] | None = None,
+        kill_grace: float | None = None,
     ) -> None:
         from repro.parallel.pool import inner_workers, service_slots
 
@@ -177,9 +229,36 @@ class JobScheduler:
                 raise ValueError(message)
             self.max_concurrent = max_concurrent
             self.workers_per_job = inner_workers(max_concurrent, workers_per_job)
-        self.executors = (
-            dict(executors) if executors is not None else default_executors()
+        if backend not in ("thread", "process"):
+            message = f"unknown backend {backend!r}; valid: thread, process"
+            raise ValueError(message)
+        if executors is not None and backend == "process":
+            raise ValueError(
+                "the process backend needs a picklable executor_factory, "
+                "not an executors dict"
+            )
+        self.backend = backend
+        self._executor_factory = (
+            executor_factory if executor_factory is not None
+            else default_executors
         )
+        self.executors = (
+            dict(executors) if executors is not None
+            else self._executor_factory()
+        )
+        self._backend_impl = None
+        if backend == "process":
+            from repro.service.workers import (
+                DEFAULT_KILL_GRACE_S,
+                ProcessBackend,
+            )
+
+            self._backend_impl = ProcessBackend(
+                kill_grace=(
+                    kill_grace if kill_grace is not None
+                    else DEFAULT_KILL_GRACE_S
+                )
+            )
         self.max_finished_jobs = max_finished_jobs
         self._cond = threading.Condition()
         self._queue: list[tuple[int, int, Job]] = []  # (-priority, seq, job)
@@ -255,7 +334,7 @@ class JobScheduler:
             try:
                 return self._jobs[job_id]
             except KeyError:
-                raise KeyError(f"unknown job {job_id!r}") from None
+                raise UnknownJobError(f"unknown job {job_id!r}") from None
 
     def jobs(self) -> list[Job]:
         with self._cond:
@@ -276,8 +355,11 @@ class JobScheduler:
         """Cancel a job.  Queued jobs die immediately (returns True) —
         unless other submissions were deduped onto them, in which case
         one waiter is peeled off and the shared job survives (returns
-        False); running jobs only get the best-effort flag (returns
-        False); terminal jobs are left untouched (returns False)."""
+        False).  Running jobs are cancelled asynchronously (returns
+        False, the job reaches CANCELLED shortly after): the cancel
+        token trips the engine's cooperative checkpoints, and on the
+        process backend the worker is killed if it misses the grace
+        window.  Terminal jobs are left untouched (returns False)."""
         job = self.get(job_id)
         with self._cond:
             if job.state == QUEUED:
@@ -289,16 +371,27 @@ class JobScheduler:
                     )
                     return False
                 job.cancel_requested = True
+                job.cancel_token.set()
                 self._finish_locked(job, CANCELLED, error="cancelled while queued")
                 return True
             if job.state == RUNNING:
                 job.cancel_requested = True
-                self._emit_locked(job, "cancel_requested", "best effort: job is running")
+                job.cancel_token.set()
+                detail = (
+                    "cooperative checkpoint + worker kill backstop"
+                    if self._backend_impl is not None
+                    else "cooperative checkpoints only (thread backend)"
+                )
+                self._emit_locked(job, "cancel_requested", detail)
                 return False
             return False
 
     def shutdown(self, wait: bool = True, timeout: float | None = 10.0) -> None:
-        """Stop dispatching, cancel everything queued, join workers."""
+        """Stop dispatching, cancel everything queued, join workers.
+
+        Running jobs get their cancel token set so engine checkpoints
+        (and, on the process backend, the worker monitors) wind down
+        instead of running to completion unattended."""
         with self._cond:
             self._stop = True
             for _, _, job in self._queue:
@@ -307,6 +400,9 @@ class JobScheduler:
                         job, CANCELLED, error="scheduler shut down"
                     )
             self._queue.clear()
+            for job in self._jobs.values():
+                if job.state == RUNNING:
+                    job.cancel_token.set()
             self._cond.notify_all()
             workers = list(self._workers)
         self._dispatcher.join(timeout)
@@ -352,24 +448,38 @@ class JobScheduler:
             worker.start()
 
     def _run_job(self, job: Job) -> None:
+        from repro.service.workers import WorkerError
+
         ctx = JobContext(self, job, self.workers_per_job)
+        state, result, error = DONE, None, None
         try:
-            result = self.executors[job.kind](job.params, ctx)
-        except Exception as exc:  # a failed job must not kill the service
-            detail = "".join(
+            if self._backend_impl is not None:
+                result = self._backend_impl.run(
+                    job, ctx, self._executor_factory
+                )
+            else:
+                result = self.executors[job.kind](job.params, ctx)
+        except JobCancelled:
+            state, error = CANCELLED, "cancelled while running"
+        except WorkerError as exc:
+            # the worker already formatted the remote failure verbatim
+            state, error = FAILED, str(exc)
+        except BaseException as exc:
+            # EVERY other failure — Exception or BaseException
+            # (SystemExit, KeyboardInterrupt, MemoryError) — fails the
+            # job; the slot release lives in the finally below, so no
+            # raise can strand ``_running`` and leak a slot.
+            state = FAILED
+            error = "".join(
                 traceback.format_exception_only(type(exc), exc)
             ).strip()
+        finally:
             with self._cond:
                 self._running -= 1
                 self._workers.discard(threading.current_thread())
-                self._finish_locked(job, FAILED, error=detail)
+                if job.state not in TERMINAL_STATES:
+                    self._finish_locked(job, state, result=result, error=error)
                 self._cond.notify_all()
-            return
-        with self._cond:
-            self._running -= 1
-            self._workers.discard(threading.current_thread())
-            self._finish_locked(job, DONE, result=result)
-            self._cond.notify_all()
 
     # -- locked helpers -------------------------------------------------
 
@@ -450,7 +560,9 @@ def run_analyze_job(params: dict, ctx: JobContext) -> dict:
 
     name = _require_benchmark(params)
     ctx.emit("resolve", f"x_based({name!r}), workers={ctx.workers}")
-    result = runner.x_based(name, workers=ctx.workers)
+    result = runner.x_based(
+        name, workers=ctx.workers, cancel=getattr(ctx, "cancel", None)
+    )
     return _analysis_payload(result)
 
 
@@ -461,7 +573,7 @@ def run_profile_job(params: dict, ctx: JobContext) -> dict:
 
     name = _require_benchmark(params)
     ctx.emit("resolve", f"profiling({name!r})")
-    profile = runner.profiling(name)
+    profile = runner.profiling(name, cancel=getattr(ctx, "cancel", None))
     return {
         "kind": "profiling",
         "benchmark": name,
@@ -483,6 +595,7 @@ def run_stressmark_job(params: dict, ctx: JobContext) -> dict:
         islands=params.get("islands"),
         migration_interval=params.get("migration_interval"),
         workers=ctx.workers,
+        cancel=getattr(ctx, "cancel", None),
     )
     return {
         "kind": "stressmark",

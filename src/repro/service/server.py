@@ -26,7 +26,13 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.service.scheduler import FAILED, TERMINAL_STATES, JobScheduler
+from repro.service.scheduler import (
+    CANCELLED,
+    FAILED,
+    TERMINAL_STATES,
+    JobScheduler,
+    UnknownJobError,
+)
 
 #: default TCP port for ``repro serve`` / ``repro submit``
 DEFAULT_PORT = 8437
@@ -36,7 +42,15 @@ MAX_WAIT_S = 120.0
 
 
 class AnalysisService:
-    """The server-side bundle: one scheduler + the artifact store."""
+    """The server-side bundle: one scheduler + the artifact store.
+
+    When no *scheduler* is supplied, one is built on the **process**
+    execution backend by default: each job runs in its own worker
+    process, so an engine crash fails that one job (the server keeps
+    serving) and DELETE on a running job actually stops it.
+    *backend* ``"thread"`` restores the in-process executors (tests,
+    single-shot scripting).
+    """
 
     def __init__(
         self,
@@ -44,9 +58,12 @@ class AnalysisService:
         store=None,
         max_jobs: int | None = None,
         workers_per_job: int | None = None,
+        backend: str = "process",
     ) -> None:
         self.scheduler = scheduler or JobScheduler(
-            max_concurrent=max_jobs, workers_per_job=workers_per_job
+            max_concurrent=max_jobs,
+            workers_per_job=workers_per_job,
+            backend=backend,
         )
         self._store = store
 
@@ -123,16 +140,24 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         query = {
             key: values[-1] for key, values in parse_qs(parsed.query).items()
         }
+        # Resolve the response first, then write it exactly once: the
+        # write is guarded against the client hanging up mid-response
+        # (long polls get abandoned all the time), which must not dump
+        # tracebacks from handler threads or re-write to a dead socket.
         try:
             payload, status = self._route(method, parts, query)
         except _HTTPError as err:
-            self._send_json(err.payload, err.status)
-        except KeyError as err:
-            self._send_json({"error": str(err).strip("'\"")}, 404)
+            payload, status = err.payload, err.status
+        except UnknownJobError as err:
+            # only the scheduler's "no such job" is a 404; any other
+            # KeyError is a genuine server bug and surfaces as a 500
+            payload, status = {"error": str(err).strip("'\"")}, 404
         except Exception as err:  # pragma: no cover - defensive surface
-            self._send_json({"error": f"internal error: {err}"}, 500)
-        else:
+            payload, status = {"error": f"internal error: {err}"}, 500
+        try:
             self._send_json(payload, status)
+        except (BrokenPipeError, ConnectionResetError, TimeoutError):
+            self.close_connection = True
 
     def do_GET(self) -> None:
         self._dispatch("GET")
@@ -215,7 +240,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if not parts:
             raise _HTTPError(405, f"{method} not allowed on /v1/jobs")
 
-        job = scheduler.get(parts[0])  # KeyError -> 404
+        job = scheduler.get(parts[0])  # UnknownJobError -> 404
         if method == "GET" and len(parts) == 1:
             return job.payload(), 200
         if method == "DELETE" and len(parts) == 1:
@@ -236,11 +261,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 return job.payload(include_result=False), 202
             if job.state == FAILED:
                 raise _HTTPError(
-                    500, f"job {job.id} failed: {job.error}", job_id=job.id
+                    500, f"job {job.id} failed: {job.error}",
+                    job_id=job.id, state=FAILED,
                 )
-            if job.result is None:  # cancelled
+            if job.state == CANCELLED or job.result is None:
                 raise _HTTPError(
-                    409, f"job {job.id} was cancelled", job_id=job.id
+                    409, f"job {job.id} was cancelled",
+                    job_id=job.id, state=CANCELLED,
                 )
             return job.payload(), 200
         if method == "GET" and parts[1:] == ["events"]:
@@ -287,10 +314,11 @@ def serve(
     max_jobs: int | None = None,
     workers_per_job: int | None = None,
     verbose: bool = True,
+    backend: str = "process",
 ) -> int:
     """Run the analysis service until interrupted (the CLI entry)."""
     service = AnalysisService(
-        max_jobs=max_jobs, workers_per_job=workers_per_job
+        max_jobs=max_jobs, workers_per_job=workers_per_job, backend=backend
     )
     server = make_server(service, host, port, verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
@@ -298,6 +326,7 @@ def serve(
         f"repro service on http://{bound_host}:{bound_port} "
         f"({service.scheduler.max_concurrent} job slots x "
         f"{service.scheduler.workers_per_job} workers, "
+        f"{service.scheduler.backend} backend, "
         f"store {service.store.root})"
     )
     try:

@@ -1,0 +1,274 @@
+"""Process-pool job execution: fault isolation + real cancellation.
+
+Each job runs in its own **spawn-start** worker process rather than on a
+scheduler thread inside the server:
+
+* **Fault isolation** — an engine that segfaults, is OOM-killed, or
+  calls ``os._exit`` takes down one worker process; the scheduler maps
+  the dead worker to one FAILED job and the server keeps serving.
+* **Real cancellation** — the worker checks a shared
+  ``multiprocessing.Event`` at the engine's cooperative checkpoints
+  (path-queue batches, segment chunks, GA generations — see
+  :mod:`repro.parallel.cancel`); if the worker does not reach a
+  checkpoint within the kill grace period, the monitor SIGKILLs the
+  worker's whole process group as the backstop.  Either way a DELETE on
+  a RUNNING job reaches a terminal state and frees its slot.
+* **No fork-in-threads** — spawn is safe from the multithreaded server
+  process, and the engine's fork-start pools (sharded exploration, GA
+  islands) are then created inside the single-threaded worker, clearing
+  the Python 3.12+ hazard the scheduler previously had to live with.
+
+The worker is **non-daemonic** so it may fork those inner engine pools
+(daemonic processes cannot have children — the jobs × inner-workers
+core budget would silently collapse to serial).  The worker calls
+``os.setsid()`` on entry, so the backstop ``killpg`` also reaps any
+fork-start grandchildren the engine had in flight.
+
+Protocol over the one-way pipe, worker → monitor::
+
+    ("event", stage, detail)   progress, forwarded to the job's stream
+    ("done", result)           executor returned *result* (a JSON dict)
+    ("cancelled", None)        a checkpoint observed the cancel event
+    ("failed", detail)         executor raised; detail is "Type: message"
+
+EOF without a terminal message means the worker died; the monitor turns
+that into :class:`WorkerCrashed` (or a cancellation, if one was pending).
+
+Results are bit-identical to the in-thread backend: the worker runs the
+same executors against the same artifact store (``CACHE_DIR`` is shipped
+explicitly — spawn does not inherit parent module-global mutations), and
+cancellation only ever aborts work, it never alters a result.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import traceback
+from pathlib import Path
+
+from repro.parallel.cancel import JobCancelled
+from repro.parallel.pool import spawn_context
+
+#: seconds a cancelled worker gets to reach a cooperative checkpoint
+#: before the monitor SIGKILLs its process group
+DEFAULT_KILL_GRACE_S = 2.0
+
+#: sentinel from :meth:`ProcessBackend._pump` when the pipe broke
+_EOF = ("__eof__", None)
+
+
+class WorkerError(RuntimeError):
+    """An executor failed inside the worker process.
+
+    ``str()`` is the worker's verbatim ``"Type: message"`` line, so the
+    job's error field reads the same as it would from the in-thread
+    backend.
+    """
+
+
+class WorkerCrashed(WorkerError):
+    """The worker process died without reporting a result."""
+
+
+class _WorkerContext:
+    """The executor context inside the worker process.
+
+    Mirrors :class:`repro.service.scheduler.JobContext`: ``emit`` ships
+    progress up the pipe, ``cancel`` is the shared token the engine's
+    checkpoints poll.
+    """
+
+    def __init__(self, conn, cancel_token, workers: int) -> None:
+        self._conn = conn
+        self.cancel = cancel_token
+        self.workers = workers
+
+    def emit(self, stage: str, detail: str = "") -> None:
+        try:
+            self._conn.send(("event", stage, detail))
+        except (BrokenPipeError, OSError):
+            pass  # monitor went away; keep computing (or die with it)
+
+    def cancelled(self) -> bool:
+        return self.cancel.is_set()
+
+    def check_cancelled(self) -> None:
+        self.cancel.check()
+
+
+def _worker_main(
+    conn,
+    cancel_event,
+    factory,
+    kind: str,
+    params: dict,
+    workers: int,
+    cache_dir: str | None,
+) -> None:
+    """Worker-process entry: run one job's executor, report, exit.
+
+    Spawned fresh, so nothing from the server process leaks in except
+    what arrives through the arguments: *factory* rebuilds the executor
+    table (it must be a picklable module-level callable), *cache_dir*
+    re-points the runner's artifact store (spawn inherits the
+    environment but **not** parent module-global mutations like
+    ``runner.CACHE_DIR``).
+    """
+    try:
+        os.setsid()  # own process group: the kill backstop reaps our forks
+    except OSError:
+        pass
+    from repro.bench import runner
+    from repro.parallel.cancel import CancelToken
+
+    if cache_dir is not None:
+        runner.CACHE_DIR = Path(cache_dir)
+    ctx = _WorkerContext(conn, CancelToken(cancel_event), workers)
+    try:
+        executors = factory()
+        result = executors[kind](params, ctx)
+    except JobCancelled:
+        message = ("cancelled", None)
+    except BaseException as exc:
+        detail = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+        message = ("failed", detail)
+    else:
+        message = ("done", result)
+    try:
+        conn.send(message)
+    except (BrokenPipeError, OSError):
+        pass
+    finally:
+        conn.close()
+
+
+class ProcessBackend:
+    """Runs each job in a spawn-start worker process and monitors it.
+
+    One :meth:`run` call per job, invoked from the scheduler's job
+    thread: it launches the worker, pumps progress events, watches for
+    cancellation/shutdown, and translates the worker's fate into the
+    same exceptions the in-thread backend produces — so the scheduler's
+    state machine is backend-agnostic.
+    """
+
+    def __init__(self, kill_grace: float = DEFAULT_KILL_GRACE_S) -> None:
+        if kill_grace <= 0:
+            raise ValueError(f"kill_grace must be > 0, got {kill_grace}")
+        self.kill_grace = kill_grace
+
+    def run(self, job, ctx, factory):
+        """Execute *job* in a worker process; return its result dict.
+
+        Raises :class:`JobCancelled` when the job was cancelled (via a
+        cooperative checkpoint or the kill backstop),
+        :class:`WorkerError` when the executor raised, and
+        :class:`WorkerCrashed` when the worker died without an answer.
+        """
+        from repro.bench import runner
+
+        mp = spawn_context()
+        cancel_event = mp.Event()
+        recv, send = mp.Pipe(duplex=False)
+        process = mp.Process(
+            target=_worker_main,
+            args=(
+                send, cancel_event, factory, job.kind, job.params,
+                ctx.workers, str(runner.CACHE_DIR),
+            ),
+            name=f"repro-worker-{job.id}",
+        )
+        process.start()
+        send.close()  # keep one writer so EOF means the worker is gone
+
+        outcome = None
+        kill_deadline = None
+        killed = False
+        try:
+            while outcome is None:
+                if kill_deadline is None and self._cancelling(job, ctx):
+                    cancel_event.set()
+                    kill_deadline = time.monotonic() + self.kill_grace
+                    ctx.emit(
+                        "cancelling",
+                        f"cooperative checkpoint, worker kill in "
+                        f"{self.kill_grace:.1f}s",
+                    )
+                if (
+                    kill_deadline is not None
+                    and not killed
+                    and time.monotonic() >= kill_deadline
+                ):
+                    self._kill(process)
+                    killed = True
+                if recv.poll(0.05):
+                    got = self._pump(recv, ctx)
+                    if got is _EOF:
+                        break
+                    outcome = got
+                elif not process.is_alive():
+                    # dead worker: drain events still in the pipe buffer
+                    while outcome is None and recv.poll():
+                        got = self._pump(recv, ctx)
+                        if got is _EOF:
+                            break
+                        outcome = got
+                    break
+        finally:
+            if process.is_alive() and outcome is None:
+                self._kill(process)
+            process.join(10.0)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                process.join(5.0)
+            recv.close()
+
+        if outcome is None:
+            if self._cancelling(job, ctx):
+                raise JobCancelled(
+                    "worker process terminated after cancellation"
+                )
+            raise WorkerCrashed(
+                f"worker process for {job.id} died unexpectedly "
+                f"(exit code {process.exitcode})"
+            )
+        tag, value = outcome
+        if tag == "done":
+            return value
+        if tag == "cancelled":
+            raise JobCancelled("cancelled at a cooperative checkpoint")
+        raise WorkerError(value)
+
+    @staticmethod
+    def _cancelling(job, ctx) -> bool:
+        return job.cancel_requested or ctx.scheduler._stop
+
+    @staticmethod
+    def _pump(recv, ctx):
+        """Read one pipe message; forward events, return terminal ones
+        (``_EOF`` for a broken pipe, ``None`` for a forwarded event)."""
+        try:
+            message = recv.recv()
+        except (EOFError, OSError):
+            return _EOF
+        if message[0] == "event":
+            ctx.emit(message[1], message[2])
+            return None
+        return (message[0], message[1])
+
+    @staticmethod
+    def _kill(process) -> None:
+        """SIGKILL the worker's process group (engine forks included)."""
+        if not process.is_alive() or process.pid is None:
+            return
+        try:
+            os.killpg(process.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError, OSError):
+            try:
+                process.kill()
+            except (ProcessLookupError, OSError):  # pragma: no cover
+                pass
