@@ -233,13 +233,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers_per_job=args.workers,
         verbose=args.verbose,
         backend=args.backend,
+        recover=not args.no_recover,
+        heartbeat_timeout=args.heartbeat_timeout or None,
+        max_job_seconds=args.max_job_seconds or None,
+        max_retries=args.max_retries,
     )
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
-    import urllib.error
-
-    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.client import (
+        ServiceClient,
+        ServiceError,
+        ServiceUnavailableError,
+    )
 
     if args.kind in ("analyze", "profile"):
         _resolve_benchmarks(args.benchmark)  # fail fast, before the network
@@ -254,12 +260,24 @@ def cmd_submit(args: argparse.Namespace) -> int:
             params["migration_interval"] = args.migration_interval
     client = ServiceClient(args.url)
     try:
-        job = client.submit(args.kind, priority=args.priority, **params)
+        job = client.submit(
+            args.kind,
+            priority=args.priority,
+            deadline_s=args.deadline or None,
+            **params,
+        )
         if args.no_wait:
             print(f"{job['job_id']}: {job['state']}"
                   f"{' (deduped)' if job.get('deduped') else ''}")
             return 0
         payload = client.result(job["job_id"], timeout=args.timeout)
+    except ServiceUnavailableError as err:
+        # the client already retried with backoff; the service is down
+        print(
+            f"repro submit: {err}; is `repro serve` running?",
+            file=sys.stderr,
+        )
+        return 1
     except ServiceError as err:
         print(f"repro submit: {err}", file=sys.stderr)
         return 1
@@ -269,13 +287,6 @@ def cmd_submit(args: argparse.Namespace) -> int:
         print(
             f"repro submit: {err}; the job may still be running — "
             f"retry or query its status",
-            file=sys.stderr,
-        )
-        return 1
-    except (urllib.error.URLError, OSError) as err:
-        print(
-            f"repro submit: cannot reach {args.url} ({err}); "
-            f"is `repro serve` running?",
             file=sys.stderr,
         )
         return 1
@@ -450,6 +461,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "'thread' runs executors in-process")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
+    p_serve.add_argument("--no-recover", action="store_true",
+                         help="skip journal replay on startup (jobs from "
+                              "a previous run are NOT requeued)")
+    p_serve.add_argument("--heartbeat-timeout", type=float, default=300.0,
+                         metavar="S",
+                         help="kill a worker silent for S seconds — engine "
+                              "checkpoints heartbeat, so a healthy job "
+                              "stays loud (default 300; 0 disables)")
+    p_serve.add_argument("--max-job-seconds", type=float, default=0.0,
+                         metavar="S",
+                         help="default per-job wall-clock deadline "
+                              "(0 = none; per-request deadline_s "
+                              "overrides)")
+    p_serve.add_argument("--max-retries", type=int, default=None, metavar="N",
+                         help="retries for crashed/hung workers "
+                              "(default 2; executor exceptions are "
+                              "never retried)")
     p_serve.set_defaults(func=cmd_serve, engine=None, islands=None,
                          migration_interval=None)
 
@@ -470,6 +498,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the job id and return immediately")
     p_submit.add_argument("--timeout", type=float, default=600.0,
                           help="seconds to wait for the result")
+    p_submit.add_argument("--deadline", type=float, default=0.0, metavar="S",
+                          help="server-side wall-clock budget: the job is "
+                               "killed and failed past S seconds (0 = none)")
     add_island_knobs(p_submit)
     p_submit.set_defaults(func=cmd_submit)
 

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.asm.program import Program
+from repro.service import faults
 from repro.sim.batch import BatchMachine
 from repro.sim.trace import CycleRecord, Trace
 
@@ -257,6 +258,7 @@ def _explore_scalar(
     while stack:
         if cancel is not None:
             cancel.check()
+        faults.hit("explore.batch")
         pending = stack.pop()
         if len(segments) >= max_segments:
             raise PathExplosionError(
@@ -404,6 +406,7 @@ def _explore_batched(
     while batch.lanes:
         if cancel is not None:
             cancel.check()
+        faults.hit("explore.batch")
         # Pre-step snapshots: a fork restarts its children from the state
         # *before* the X-condition dispatch cycle (they re-execute it with
         # concrete flags), exactly like the scalar engine's snap_before.

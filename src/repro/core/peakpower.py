@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.core.activity import ExecutionTree
 from repro.logic import X
+from repro.service import faults
 from repro.power.model import PowerModel, PowerTrace
 from repro.sim.vcd import write_vcd
 
@@ -362,6 +363,7 @@ def _compute_stacked(
     for parity_mask in (odd_local, ~odd_local):
         if cancel is not None:
             cancel.check()
+        faults.hit("peakpower.segment")
         target_rows = data_rows[parity_mask]
         new_prv, new_cur = _assign_parity_pairs(
             stacked, stacked_active, target_rows, model.max_prev, model.max_cur
@@ -457,6 +459,7 @@ def _compute_scalar(
     for segment in tree.segments:
         if cancel is not None:
             cancel.check()
+        faults.hit("peakpower.segment")
         if segment.n_cycles == 0:
             continue
         sl, profiles = _segment_profiles(tree, model, segment, values, active)

@@ -42,12 +42,21 @@ class CancelToken:
     ``set()``): a ``threading.Event`` (the default), a
     ``multiprocessing.Event`` forwarded into a worker process, or a test
     double.
+
+    *heartbeat* is an optional zero-arg callable invoked on every
+    :meth:`check`.  The engine's checkpoints thus double as liveness
+    proof: the process-backend worker wires a throttled pipe ping here,
+    and a worker that stops reaching checkpoints (wedged kernel,
+    injected hang) stops heartbeating — which is exactly what the
+    monitor's heartbeat watchdog detects.  Callbacks must be cheap and
+    must never raise.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "heartbeat")
 
-    def __init__(self, event=None) -> None:
+    def __init__(self, event=None, heartbeat=None) -> None:
         self._event = event if event is not None else threading.Event()
+        self.heartbeat = heartbeat
 
     def set(self) -> None:
         self._event.set()
@@ -57,5 +66,7 @@ class CancelToken:
 
     def check(self) -> None:
         """Raise :class:`JobCancelled` if the token has been set."""
+        if self.heartbeat is not None:
+            self.heartbeat()
         if self._event.is_set():
             raise JobCancelled("cancelled at a cooperative checkpoint")

@@ -18,11 +18,26 @@ PRs 1-4 into a long-lived query service with three layers:
   stdlib-only HTTP/JSON API (``repro serve``) and client (``repro
   submit``) exposing submit/status/result/events/store endpoints, so
   sizing questions become cheap repeatable queries.
+* :mod:`repro.service.journal` — a durable write-ahead log of job
+  transitions; ``repro serve`` replays it on startup so queued and
+  running jobs survive crashes and restarts.
+* :mod:`repro.service.faults` — named, seedable fault-injection sites
+  (``REPRO_FAULTS``) so the crash/hang/retry machinery is exercised by
+  chaos tests, not just written.
 """
 
+from repro.service.faults import FaultInjected, FaultSpecError
+from repro.service.journal import JobJournal, ReplayReport, recover_jobs
 from repro.service.scheduler import Job, JobScheduler, UnknownJobError
 from repro.service.store import ArtifactStore, GcReport, StoreStats
-from repro.service.workers import ProcessBackend, WorkerCrashed, WorkerError
+from repro.service.workers import (
+    DeadlineExceeded,
+    ProcessBackend,
+    WorkerCrashed,
+    WorkerError,
+    WorkerHung,
+    describe_exit,
+)
 
 __all__ = [
     "ArtifactStore",
@@ -31,7 +46,15 @@ __all__ = [
     "Job",
     "JobScheduler",
     "UnknownJobError",
+    "JobJournal",
+    "ReplayReport",
+    "recover_jobs",
+    "FaultInjected",
+    "FaultSpecError",
     "ProcessBackend",
     "WorkerCrashed",
     "WorkerError",
+    "WorkerHung",
+    "DeadlineExceeded",
+    "describe_exit",
 ]

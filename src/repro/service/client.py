@@ -11,10 +11,15 @@
 Every method returns the decoded JSON payload; HTTP errors raise
 :class:`ServiceError` carrying the status code and the server's error
 payload (which, for an unknown benchmark, lists the valid names).
+Connection-level failures — refused, reset, DNS, a server mid-restart —
+are retried with capped exponential backoff and then raised as
+:class:`ServiceUnavailableError`, so a ``repro serve`` bounce under a
+polling client looks like a brief stall, not a stack trace.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -23,6 +28,13 @@ import urllib.request
 from repro.service.server import DEFAULT_PORT
 
 DEFAULT_URL = f"http://127.0.0.1:{DEFAULT_PORT}"
+
+#: connection-failure retries per request (total attempts = retries + 1)
+DEFAULT_CONNECT_RETRIES = 2
+
+#: backoff between connection retries: min(cap, base * 2**k)
+CONNECT_BACKOFF_S = 0.2
+CONNECT_BACKOFF_CAP_S = 2.0
 
 
 class ServiceError(RuntimeError):
@@ -33,6 +45,16 @@ class ServiceError(RuntimeError):
         super().__init__(f"{message} (HTTP {status})")
         self.status = status
         self.payload = payload
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service could not be reached at the transport level
+    (connection refused/reset, DNS failure, socket timeout) after the
+    client's retries were exhausted.  ``status`` is 0 — no HTTP response
+    ever arrived."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(0, {"error": message})
 
 
 class JobFailedError(ServiceError):
@@ -47,10 +69,14 @@ class JobCancelledError(ServiceError):
 
 class ServiceClient:
     def __init__(
-        self, base_url: str = DEFAULT_URL, timeout: float = 60.0
+        self,
+        base_url: str = DEFAULT_URL,
+        timeout: float = 60.0,
+        connect_retries: int = DEFAULT_CONNECT_RETRIES,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.connect_retries = max(0, connect_retries)
 
     def _request(
         self,
@@ -67,18 +93,41 @@ class ServiceClient:
         request = urllib.request.Request(
             self.base_url + path, data=data, method=method, headers=headers
         )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=timeout or self.timeout
-            ) as response:
-                return json.loads(response.read() or b"{}")
-        except urllib.error.HTTPError as err:
-            raw = err.read() or b"{}"
+        last_error: Exception | None = None
+        for attempt in range(self.connect_retries + 1):
+            if attempt:
+                time.sleep(
+                    min(
+                        CONNECT_BACKOFF_CAP_S,
+                        CONNECT_BACKOFF_S * (2 ** (attempt - 1)),
+                    )
+                )
             try:
-                payload = json.loads(raw)
-            except ValueError:
-                payload = {"error": raw.decode(errors="replace")}
-            raise ServiceError(err.code, payload) from None
+                with urllib.request.urlopen(
+                    request, timeout=timeout or self.timeout
+                ) as response:
+                    return json.loads(response.read() or b"{}")
+            except urllib.error.HTTPError as err:
+                # the server answered: a real HTTP status, never retried
+                raw = err.read() or b"{}"
+                try:
+                    payload = json.loads(raw)
+                except ValueError:
+                    payload = {"error": raw.decode(errors="replace")}
+                raise ServiceError(err.code, payload) from None
+            except urllib.error.URLError as err:
+                # urlopen wraps socket-level failures (refused, DNS);
+                # unwrap so the final message names the real cause
+                last_error = err.reason if isinstance(
+                    err.reason, Exception
+                ) else err
+            except (OSError, http.client.HTTPException) as err:
+                # reset mid-response, truncated reply, socket timeout
+                last_error = err
+        raise ServiceUnavailableError(
+            f"cannot reach analysis service at {self.base_url}: "
+            f"{last_error} (after {self.connect_retries + 1} attempts)"
+        ) from last_error
 
     # -- endpoints ------------------------------------------------------
 
@@ -88,9 +137,20 @@ class ServiceClient:
     def benchmarks(self) -> list[dict]:
         return self._request("GET", "/v1/benchmarks")["benchmarks"]
 
-    def submit(self, kind: str = "analyze", priority: int = 0, **params) -> dict:
-        """Submit a job; returns ``{job_id, state, deduped}``."""
+    def submit(
+        self,
+        kind: str = "analyze",
+        priority: int = 0,
+        deadline_s: float | None = None,
+        **params,
+    ) -> dict:
+        """Submit a job; returns ``{job_id, state, deduped}``.
+
+        *deadline_s* is an optional wall-clock budget: the server kills
+        the job past it and fails it with ``deadline exceeded``."""
         body = {"kind": kind, "priority": priority, **params}
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
         return self._request("POST", "/v1/jobs", body)
 
     def jobs(self) -> list[dict]:

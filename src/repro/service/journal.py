@@ -1,0 +1,268 @@
+"""Durable job journal: crash recovery for the analysis service.
+
+The scheduler's state lives in memory, so without a journal a ``repro
+serve`` restart (deploy, OOM, ``kill -9``) silently drops every queued
+and running job.  This module is the write-ahead log that closes that
+hole: an **append-only JSONL** file in the store directory recording
+each job's lifecycle transitions —
+
+    {"op": "submit",   "job_id", "kind", "params", "priority",
+                       "deadline_s", "ts"}
+    {"op": "start",    "job_id", "attempt", "ts"}
+    {"op": "retry",    "job_id", "attempt", "ts"}
+    {"op": "terminal", "job_id", "state", "error", "ts"}
+
+— one JSON object per line, fsynced per append (transitions are rare;
+progress *events* are deliberately not journaled).  On startup ``repro
+serve`` replays the journal and requeues every job with no terminal
+record: jobs that were QUEUED, and jobs orphaned mid-RUNNING by the
+crash.  Requeued jobs keep their job ids (clients polling across the
+restart keep working) and resolve through the artifact store — so a job
+whose artifact was already published completes instantly, and one
+killed mid-compute recomputes to a bit-identical result.
+
+Robustness of the log itself:
+
+* a crash mid-append can only tear the **last** line; replay ignores
+  any line that fails to parse (and counts it);
+* unknown ops and unknown job ids are skipped, so a newer server can
+  replay an older journal;
+* replay is followed by :meth:`JobJournal.compact` — the file is
+  atomically truncated and the resubmitted pending jobs immediately
+  re-append fresh ``submit`` records, so the journal stays bounded by
+  the live job population instead of growing forever.
+
+A *graceful* shutdown deliberately does **not** write terminal records
+for the jobs it interrupts (see ``JobScheduler.shutdown``): to the
+journal a drain looks exactly like a crash, so queued and running work
+survives planned restarts too.  Only genuine terminals — done, failed,
+user-cancelled — retire a job from the log.
+
+Two pending jobs that share a dedupe signature collapse onto one job on
+recovery (the second requeue merges, exactly like a live duplicate
+submission); the collapsed id is gone after the restart, which mirrors
+what the scheduler would have done had the two arrived live.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: journal file name inside the store directory
+JOURNAL_NAME = "jobs.journal.jsonl"
+
+
+@dataclass
+class PendingJob:
+    """A journaled job with no terminal record — requeue it."""
+
+    job_id: str
+    kind: str
+    params: dict
+    priority: int = 0
+    deadline_s: float | None = None
+    #: "queued" or "running" at crash time (running = orphaned worker)
+    last_state: str = "queued"
+    #: highest attempt journaled (informational; recovery resets to 1)
+    attempts: int = 1
+
+
+@dataclass
+class ReplayReport:
+    """What a replay pass found."""
+
+    pending: list[PendingJob] = field(default_factory=list)
+    n_records: int = 0
+    n_terminal: int = 0
+    n_torn: int = 0
+
+
+class JobJournal:
+    """Append-only JSONL write-ahead log of job transitions.
+
+    Thread-safe: appends serialize on an internal lock (the scheduler
+    journals from its dispatcher, job threads, and the submit path).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    # -- writing --------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (fsync before returning, so a
+        crash immediately after a transition cannot lose it)."""
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line)
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def record_submit(
+        self,
+        job_id: str,
+        kind: str,
+        params: dict,
+        priority: int = 0,
+        deadline_s: float | None = None,
+    ) -> None:
+        self.append(
+            {
+                "op": "submit",
+                "job_id": job_id,
+                "kind": kind,
+                "params": params,
+                "priority": priority,
+                "deadline_s": deadline_s,
+                "ts": time.time(),
+            }
+        )
+
+    def record_start(self, job_id: str, attempt: int = 1) -> None:
+        self.append(
+            {"op": "start", "job_id": job_id, "attempt": attempt,
+             "ts": time.time()}
+        )
+
+    def record_retry(self, job_id: str, attempt: int) -> None:
+        self.append(
+            {"op": "retry", "job_id": job_id, "attempt": attempt,
+             "ts": time.time()}
+        )
+
+    def record_terminal(
+        self, job_id: str, state: str, error: str | None = None
+    ) -> None:
+        self.append(
+            {"op": "terminal", "job_id": job_id, "state": state,
+             "error": error, "ts": time.time()}
+        )
+
+    # -- replay ---------------------------------------------------------
+
+    def replay(self) -> ReplayReport:
+        """Read the journal and classify every job.
+
+        Jobs with a ``submit`` record and no ``terminal`` record are
+        pending: ``last_state`` distinguishes never-started (queued)
+        from orphaned-running.  Torn lines (crash mid-append) and
+        unknown ops are skipped, not fatal.
+        """
+        report = ReplayReport()
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return report
+        submitted: dict[str, PendingJob] = {}
+        terminal: set[str] = set()
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                report.n_torn += 1
+                continue
+            if not isinstance(record, dict):
+                report.n_torn += 1
+                continue
+            report.n_records += 1
+            op = record.get("op")
+            job_id = record.get("job_id")
+            if not isinstance(job_id, str):
+                continue
+            if op == "submit":
+                params = record.get("params")
+                deadline = record.get("deadline_s")
+                submitted[job_id] = PendingJob(
+                    job_id=job_id,
+                    kind=str(record.get("kind", "")),
+                    params=params if isinstance(params, dict) else {},
+                    priority=int(record.get("priority", 0) or 0),
+                    deadline_s=(
+                        float(deadline) if deadline is not None else None
+                    ),
+                )
+            elif op in ("start", "retry"):
+                pending = submitted.get(job_id)
+                if pending is not None:
+                    pending.last_state = "running"
+                    pending.attempts = max(
+                        pending.attempts, int(record.get("attempt", 1) or 1)
+                    )
+            elif op == "terminal":
+                terminal.add(job_id)
+        report.n_terminal = len(terminal)
+        report.pending = [
+            job for job_id, job in submitted.items() if job_id not in terminal
+        ]
+        return report
+
+    def compact(self) -> None:
+        """Atomically truncate the journal (called right after replay;
+        the requeued jobs re-append fresh ``submit`` records, so the log
+        is reborn holding exactly the live population)."""
+        with self._lock:
+            if not self.path.exists():
+                return
+            scratch = self.path.with_name(
+                f"{self.path.name}.tmp{os.getpid()}"
+            )
+            try:
+                scratch.write_bytes(b"")
+                os.replace(scratch, self.path)
+            except BaseException:
+                try:
+                    scratch.unlink()
+                except OSError:
+                    pass
+                raise
+
+
+def recover_jobs(scheduler, report: ReplayReport) -> dict:
+    """Requeue a replay's pending jobs into *scheduler*.
+
+    Preserves job ids (``recover_id``), priorities, and per-job
+    deadlines.  Jobs whose kind the scheduler no longer knows are
+    skipped (a journal written by a differently-configured server must
+    not wedge startup).  Returns a summary dict for ``/healthz`` and
+    the serve banner.
+    """
+    requeued = merged = skipped = 0
+    for pending in report.pending:
+        try:
+            job, deduped = scheduler.submit(
+                pending.kind,
+                pending.params,
+                priority=pending.priority,
+                deadline_s=pending.deadline_s,
+                recover_id=pending.job_id,
+            )
+        except (KeyError, ValueError):
+            skipped += 1
+            continue
+        if deduped:
+            merged += 1
+        else:
+            requeued += 1
+            scheduler._emit(
+                job,
+                "recovered",
+                f"requeued from journal after restart "
+                f"(was {pending.last_state})",
+            )
+    return {
+        "requeued": requeued,
+        "merged": merged,
+        "skipped": skipped,
+        "torn_lines": report.n_torn,
+    }

@@ -45,6 +45,7 @@ dedupe, and bit-identical results are backend-independent.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import json
 import threading
@@ -67,6 +68,14 @@ TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
 #: terminal jobs retained for status/result queries before the oldest
 #: are evicted — bounds a long-lived server's memory
 MAX_FINISHED_JOBS = 512
+
+#: default retry budget for retryable failures (worker crashes and
+#: watchdog kills): up to 1 + MAX_RETRIES attempts per job
+DEFAULT_MAX_RETRIES = 2
+
+#: exponential-backoff base and cap between retry attempts
+DEFAULT_RETRY_BACKOFF_S = 0.5
+DEFAULT_RETRY_BACKOFF_CAP_S = 30.0
 
 
 class UnknownJobError(KeyError):
@@ -121,6 +130,10 @@ class Job:
     result: dict | None = None
     error: str | None = None
     merged: int = 0  # duplicate submissions folded into this job
+    attempt: int = 1  # current/last execution attempt (retries bump it)
+    deadline_s: float | None = None  # per-job wall-clock budget
+    deadline_hit: bool = False  # the thread backend's deadline timer fired
+    recovered: bool = False  # requeued from the journal after a restart
     cancel_requested: bool = False
     #: trips the engine's cooperative checkpoints (and, on the process
     #: backend, arms the worker-kill backstop)
@@ -147,10 +160,15 @@ class Job:
             "priority": self.priority,
             "state": self.state,
             "merged": self.merged,
+            "attempt": self.attempt,
             "created": self.created,
             "finished": self.finished,
             "n_events": len(self.events),
         }
+        if self.deadline_s is not None:
+            data["deadline_s"] = self.deadline_s
+        if self.recovered:
+            data["recovered"] = True
         if self.error is not None:
             data["error"] = self.error
         if include_result and self.result is not None:
@@ -216,6 +234,12 @@ class JobScheduler:
         backend: str = "thread",
         executor_factory: Callable[[], dict[str, Executor]] | None = None,
         kill_grace: float | None = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+        retry_backoff_cap_s: float = DEFAULT_RETRY_BACKOFF_CAP_S,
+        heartbeat_timeout: float | None = None,
+        max_job_seconds: float | None = None,
+        journal=None,
     ) -> None:
         from repro.parallel.pool import inner_workers, service_slots
 
@@ -237,7 +261,15 @@ class JobScheduler:
                 "the process backend needs a picklable executor_factory, "
                 "not an executors dict"
             )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.backend = backend
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_cap_s = retry_backoff_cap_s
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_job_seconds = max_job_seconds
+        self.journal = journal
         self._executor_factory = (
             executor_factory if executor_factory is not None
             else default_executors
@@ -257,7 +289,9 @@ class JobScheduler:
                 kill_grace=(
                     kill_grace if kill_grace is not None
                     else DEFAULT_KILL_GRACE_S
-                )
+                ),
+                heartbeat_timeout=heartbeat_timeout,
+                max_job_seconds=max_job_seconds,
             )
         self.max_finished_jobs = max_finished_jobs
         self._cond = threading.Condition()
@@ -277,17 +311,28 @@ class JobScheduler:
     # -- public API -----------------------------------------------------
 
     def submit(
-        self, kind: str, params: dict | None = None, priority: int = 0
+        self,
+        kind: str,
+        params: dict | None = None,
+        priority: int = 0,
+        deadline_s: float | None = None,
+        recover_id: str | None = None,
     ) -> tuple[Job, bool]:
         """Enqueue a request; return ``(job, deduped)``.
 
         *deduped* is true when an identical request was already in
         flight and this submission joined it instead of creating a new
-        job.
+        job.  *deadline_s* is an optional per-job wall-clock budget
+        (excluded from the dedupe signature; a duplicate's tighter
+        deadline transfers to the shared job).  *recover_id* reuses a
+        journaled job id on crash recovery so clients polling across a
+        restart keep working.
         """
         if kind not in self.executors:
             known = ", ".join(sorted(self.executors))
             raise KeyError(f"unknown job kind {kind!r}; valid kinds: {known}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
         params = normalize_params(kind, params or {})
         signature = job_signature(kind, params)
         with self._cond:
@@ -300,6 +345,11 @@ class JobScheduler:
                     existing, "deduped",
                     f"identical request joined in-flight job ({existing.merged} merged)",
                 )
+                if deadline_s is not None and (
+                    existing.deadline_s is None
+                    or deadline_s < existing.deadline_s
+                ):
+                    existing.deadline_s = deadline_s
                 if existing.state == QUEUED and priority > existing.priority:
                     # the joined waiter's urgency transfers to the shared
                     # job: re-push at the higher priority (the stale heap
@@ -314,18 +364,32 @@ class JobScheduler:
                     )
                     self._cond.notify_all()
                 return existing, True
+            if recover_id is not None:
+                if recover_id in self._jobs:
+                    raise ValueError(f"job id {recover_id!r} already exists")
+                # keep fresh ids monotonic past every recovered one
+                tail = recover_id.rsplit("-", 1)[-1]
+                if tail.isdigit():
+                    self._seq = max(self._seq, int(tail))
             self._seq += 1
             job = Job(
-                id=f"job-{self._seq:05d}",
+                id=recover_id if recover_id is not None else f"job-{self._seq:05d}",
                 kind=kind,
                 params=params,
                 priority=priority,
                 signature=signature,
+                deadline_s=deadline_s,
+                recovered=recover_id is not None,
             )
             self._jobs[job.id] = job
             self._inflight[signature] = job
             heapq.heappush(self._queue, (-priority, self._seq, job))
             self._emit_locked(job, "queued", f"priority {priority}")
+            if self.journal is not None:
+                self.journal.record_submit(
+                    job.id, kind, params,
+                    priority=priority, deadline_s=deadline_s,
+                )
             self._cond.notify_all()
         return job, False
 
@@ -419,6 +483,26 @@ class JobScheduler:
                 counts[job.state] += 1
             return counts
 
+    def config(self) -> dict:
+        """Static supervision configuration, surfaced by ``/healthz``."""
+        kill_grace = (
+            self._backend_impl.kill_grace
+            if self._backend_impl is not None else None
+        )
+        return {
+            "backend": self.backend,
+            "max_concurrent": self.max_concurrent,
+            "workers_per_job": self.workers_per_job,
+            "max_retries": self.max_retries,
+            "retry_backoff_s": self.retry_backoff_s,
+            "heartbeat_timeout_s": self.heartbeat_timeout,
+            "max_job_seconds": self.max_job_seconds,
+            "kill_grace_s": kill_grace,
+            "journal": (
+                str(self.journal.path) if self.journal is not None else None
+            ),
+        }
+
     # -- dispatch -------------------------------------------------------
 
     def _dispatch_loop(self) -> None:
@@ -440,6 +524,8 @@ class JobScheduler:
                     f"slot {self._running}/{self.max_concurrent}, "
                     f"{self.workers_per_job} inner workers",
                 )
+                if self.journal is not None:
+                    self.journal.record_start(job.id, attempt=job.attempt)
                 worker = threading.Thread(
                     target=self._run_job, args=(job,),
                     name=f"repro-{job.id}", daemon=True,
@@ -448,31 +534,73 @@ class JobScheduler:
             worker.start()
 
     def _run_job(self, job: Job) -> None:
-        from repro.service.workers import WorkerError
+        from repro.service.workers import WorkerCrashed, WorkerError
 
         ctx = JobContext(self, job, self.workers_per_job)
         state, result, error = DONE, None, None
         try:
-            if self._backend_impl is not None:
-                result = self._backend_impl.run(
-                    job, ctx, self._executor_factory
-                )
-            else:
-                result = self.executors[job.kind](job.params, ctx)
-        except JobCancelled:
-            state, error = CANCELLED, "cancelled while running"
-        except WorkerError as exc:
-            # the worker already formatted the remote failure verbatim
-            state, error = FAILED, str(exc)
-        except BaseException as exc:
-            # EVERY other failure — Exception or BaseException
-            # (SystemExit, KeyboardInterrupt, MemoryError) — fails the
-            # job; the slot release lives in the finally below, so no
-            # raise can strand ``_running`` and leak a slot.
-            state = FAILED
-            error = "".join(
-                traceback.format_exception_only(type(exc), exc)
-            ).strip()
+            while True:
+                try:
+                    if self._backend_impl is not None:
+                        result = self._backend_impl.run(
+                            job, ctx, self._executor_factory,
+                            attempt=job.attempt,
+                        )
+                    else:
+                        result = self._run_in_thread(job, ctx)
+                    state = DONE
+                except JobCancelled:
+                    if job.deadline_hit:
+                        # the thread backend's deadline timer trips the
+                        # cancel token; report it as the distinct
+                        # permanent failure, not a cancellation
+                        state = FAILED
+                        error = (
+                            f"deadline exceeded: {job.id} ran past "
+                            f"{job.deadline_s or self.max_job_seconds:.1f}s "
+                            f"wall clock"
+                        )
+                    else:
+                        state, error = CANCELLED, "cancelled while running"
+                except WorkerCrashed as exc:
+                    # crash or watchdog kill: retryable with backoff
+                    if self._should_retry(job):
+                        delay = self.retry_delay(job.id, job.attempt)
+                        self._emit(
+                            job, "retrying",
+                            f"attempt {job.attempt} failed ({exc}); "
+                            f"attempt {job.attempt + 1}/"
+                            f"{self.max_retries + 1} in {delay:.2f}s",
+                        )
+                        if self.journal is not None:
+                            self.journal.record_retry(
+                                job.id, attempt=job.attempt + 1
+                            )
+                        if self._backoff_wait(job, delay):
+                            job.attempt += 1
+                            continue
+                        state, error = (
+                            CANCELLED, "cancelled during retry backoff"
+                        )
+                    else:
+                        state = FAILED
+                        error = str(exc)
+                        if job.attempt > 1:
+                            error += f" (after {job.attempt} attempts)"
+                except WorkerError as exc:
+                    # executor exceptions and deadline kills are
+                    # permanent: the worker formatted the failure verbatim
+                    state, error = FAILED, str(exc)
+                except BaseException as exc:
+                    # EVERY other failure — Exception or BaseException
+                    # (SystemExit, KeyboardInterrupt, MemoryError) — fails
+                    # the job; the slot release lives in the finally
+                    # below, so no raise can strand ``_running``.
+                    state = FAILED
+                    error = "".join(
+                        traceback.format_exception_only(type(exc), exc)
+                    ).strip()
+                break
         finally:
             with self._cond:
                 self._running -= 1
@@ -480,6 +608,60 @@ class JobScheduler:
                 if job.state not in TERMINAL_STATES:
                     self._finish_locked(job, state, result=result, error=error)
                 self._cond.notify_all()
+
+    def _run_in_thread(self, job: Job, ctx: JobContext) -> dict:
+        """Thread-backend execution with a cooperative deadline: a timer
+        trips the job's cancel token at the wall-clock budget (the
+        process backend enforces deadlines with a worker kill instead)."""
+        deadline_s = (
+            job.deadline_s if job.deadline_s is not None
+            else self.max_job_seconds
+        )
+        timer = None
+        if deadline_s:
+            def _trip() -> None:
+                job.deadline_hit = True
+                job.cancel_token.set()
+
+            timer = threading.Timer(deadline_s, _trip)
+            timer.daemon = True
+            timer.start()
+        try:
+            return self.executors[job.kind](job.params, ctx)
+        finally:
+            if timer is not None:
+                timer.cancel()
+
+    def _should_retry(self, job: Job) -> bool:
+        return (
+            job.attempt <= self.max_retries
+            and not job.cancel_requested
+            and not self._stop
+        )
+
+    def retry_delay(self, job_id: str, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter: the jitter is
+        a pure function of (job id, attempt), so chaos tests and
+        journal replays see identical schedules."""
+        base = min(
+            self.retry_backoff_cap_s,
+            self.retry_backoff_s * (2 ** (attempt - 1)),
+        )
+        digest = hashlib.blake2b(
+            f"{job_id}:{attempt}".encode(), digest_size=4
+        ).hexdigest()
+        jitter = (int(digest, 16) % 1000) / 1000.0 * 0.25
+        return base * (1.0 + jitter)
+
+    def _backoff_wait(self, job: Job, delay: float) -> bool:
+        """Sleep out a retry backoff, abandoning it immediately on
+        cancel or shutdown; True when the full delay elapsed."""
+        deadline = time.monotonic() + delay
+        while time.monotonic() < deadline:
+            if job.cancel_requested or self._stop:
+                return False
+            time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))
+        return not (job.cancel_requested or self._stop)
 
     # -- locked helpers -------------------------------------------------
 
@@ -512,6 +694,13 @@ class JobScheduler:
         job.finished = time.time()
         job.state = state
         self._emit_locked(job, "finished" if state == DONE else state, error or "")
+        if self.journal is not None and not (
+            self._stop and state == CANCELLED
+        ):
+            # graceful shutdown leaves no terminal record: to the journal
+            # a drain looks like a crash, so interrupted work is requeued
+            # on the next start instead of silently dropped
+            self.journal.record_terminal(job.id, state, error=error)
         if self._inflight.get(job.signature) is job:
             del self._inflight[job.signature]
         job.done_event.set()

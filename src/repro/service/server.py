@@ -23,12 +23,17 @@ threads.
 from __future__ import annotations
 
 import json
+import signal
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from urllib.parse import parse_qs, urlparse
 
+from repro.service.journal import JOURNAL_NAME, JobJournal, recover_jobs
 from repro.service.scheduler import (
     CANCELLED,
     FAILED,
+    QUEUED,
     TERMINAL_STATES,
     JobScheduler,
     UnknownJobError,
@@ -59,13 +64,42 @@ class AnalysisService:
         max_jobs: int | None = None,
         workers_per_job: int | None = None,
         backend: str = "process",
+        recover: bool = True,
+        heartbeat_timeout: float | None = None,
+        max_job_seconds: float | None = None,
+        max_retries: int | None = None,
     ) -> None:
-        self.scheduler = scheduler or JobScheduler(
+        self.started = time.time()
+        self.recovered: dict = {"requeued": 0, "merged": 0, "skipped": 0}
+        if scheduler is not None:
+            self.scheduler = scheduler
+            self._store = store
+            return
+        journal = None
+        report = None
+        if recover:
+            from repro.bench import runner
+
+            journal = JobJournal(Path(runner.CACHE_DIR) / JOURNAL_NAME)
+            # replay BEFORE the scheduler exists, compact, then let the
+            # resubmissions below re-append fresh submit records
+            report = journal.replay()
+            journal.compact()
+        kwargs: dict = {}
+        if max_retries is not None:
+            kwargs["max_retries"] = max_retries
+        self.scheduler = JobScheduler(
             max_concurrent=max_jobs,
             workers_per_job=workers_per_job,
             backend=backend,
+            heartbeat_timeout=heartbeat_timeout,
+            max_job_seconds=max_job_seconds,
+            journal=journal,
+            **kwargs,
         )
         self._store = store
+        if report is not None:
+            self.recovered = recover_jobs(self.scheduler, report)
 
     @property
     def store(self):
@@ -175,11 +209,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     ) -> tuple[dict, int]:
         scheduler = self.service.scheduler
         if method == "GET" and parts == ["healthz"]:
+            counts = scheduler.counts()
             return {
                 "ok": True,
-                "jobs": scheduler.counts(),
+                "jobs": counts,
+                "queue_depth": counts[QUEUED],
+                "backend": scheduler.backend,
                 "max_concurrent": scheduler.max_concurrent,
                 "workers_per_job": scheduler.workers_per_job,
+                "uptime_s": round(time.time() - self.service.started, 3),
+                "recovered": self.service.recovered,
+                "config": scheduler.config(),
             }, 200
         if parts[:1] != ["v1"]:
             raise _HTTPError(404, f"no such endpoint: {self.path}")
@@ -215,12 +255,19 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             body = self._read_body()
             kind = body.pop("kind", "analyze")
             priority = body.pop("priority", 0)
+            deadline_s = body.pop("deadline_s", None)
             if not isinstance(priority, int):
                 raise _HTTPError(400, "priority must be an integer")
+            if deadline_s is not None:
+                if not isinstance(deadline_s, (int, float)) or deadline_s <= 0:
+                    raise _HTTPError(400, "deadline_s must be a number > 0")
+                deadline_s = float(deadline_s)
             try:
                 if kind in ("analyze", "profile"):
                     _require_benchmark(body)  # fail fast: 400, not a job
-                job, deduped = scheduler.submit(kind, body, priority=priority)
+                job, deduped = scheduler.submit(
+                    kind, body, priority=priority, deadline_s=deadline_s
+                )
             except (KeyError, ValueError) as err:
                 # unknown kind / unknown benchmark / invalid knob values:
                 # client error, with the valid names in the message
@@ -315,10 +362,26 @@ def serve(
     workers_per_job: int | None = None,
     verbose: bool = True,
     backend: str = "process",
+    recover: bool = True,
+    heartbeat_timeout: float | None = None,
+    max_job_seconds: float | None = None,
+    max_retries: int | None = None,
 ) -> int:
-    """Run the analysis service until interrupted (the CLI entry)."""
+    """Run the analysis service until interrupted (the CLI entry).
+
+    SIGTERM and Ctrl-C both take the graceful path: the scheduler's
+    ``shutdown`` cancels running workers and — because a graceful drain
+    writes no terminal journal records — queued and running jobs are
+    requeued by the next ``repro serve`` in the same store directory.
+    """
     service = AnalysisService(
-        max_jobs=max_jobs, workers_per_job=workers_per_job, backend=backend
+        max_jobs=max_jobs,
+        workers_per_job=workers_per_job,
+        backend=backend,
+        recover=recover,
+        heartbeat_timeout=heartbeat_timeout,
+        max_job_seconds=max_job_seconds,
+        max_retries=max_retries,
     )
     server = make_server(service, host, port, verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
@@ -327,13 +390,30 @@ def serve(
         f"({service.scheduler.max_concurrent} job slots x "
         f"{service.scheduler.workers_per_job} workers, "
         f"{service.scheduler.backend} backend, "
-        f"store {service.store.root})"
+        f"store {service.store.root})",
+        flush=True,
     )
+    recovered = service.recovered
+    if recovered.get("requeued") or recovered.get("merged"):
+        print(
+            f"recovered {recovered['requeued']} job(s) from the journal "
+            f"({recovered['merged']} merged, {recovered['skipped']} skipped)",
+            flush=True,
+        )
+
+    def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+        # raising unwinds serve_forever on the main thread; calling
+        # server.shutdown() here would deadlock (it joins the serving
+        # loop we are interrupting)
+        raise SystemExit(0)
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except (KeyboardInterrupt, SystemExit):
         pass
     finally:
+        signal.signal(signal.SIGTERM, previous)
         server.server_close()
         service.close()
     return 0

@@ -43,6 +43,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from repro.service import faults
+
 META_SUFFIX = ".meta.json"
 
 #: scratch files older than this are considered abandoned by a dead
@@ -194,6 +196,7 @@ class ArtifactStore:
         the caller's recompute overwrites it — so a racing reader can
         never delete a concurrently-published good artifact.
         """
+        faults.hit("store.read")
         path = self.path_for(key)
         for attempt in (0, 1):
             try:
@@ -234,6 +237,7 @@ class ArtifactStore:
         The artifact file holds exactly ``pickle.dumps(value)`` — byte
         identical to the pre-store ``bench/runner`` cache format.
         """
+        faults.hit("store.write")
         self.root.mkdir(parents=True, exist_ok=True)
         data = pickle.dumps(value)
         digest = content_digest(data)

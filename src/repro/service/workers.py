@@ -27,12 +27,28 @@ fork-start grandchildren the engine had in flight.
 Protocol over the one-way pipe, worker → monitor::
 
     ("event", stage, detail)   progress, forwarded to the job's stream
+    ("hb", None)               heartbeat ping (swallowed, not an event)
     ("done", result)           executor returned *result* (a JSON dict)
     ("cancelled", None)        a checkpoint observed the cancel event
     ("failed", detail)         executor raised; detail is "Type: message"
 
 EOF without a terminal message means the worker died; the monitor turns
-that into :class:`WorkerCrashed` (or a cancellation, if one was pending).
+that into :class:`WorkerCrashed` (or a cancellation, if one was
+pending), with negative exit codes decoded to their signal names —
+``killed by SIGKILL — possible OOM or external kill`` triages from the
+job's error field alone.
+
+The monitor is also the **watchdog**.  Every pipe message refreshes a
+last-heard-from clock; the engine's cooperative checkpoints double as
+throttled heartbeat pings (:class:`repro.parallel.cancel.CancelToken`'s
+``heartbeat`` hook), so a worker that is *computing* stays loud while a
+worker that is *stuck* — wedged kernel, injected hang — goes silent.
+Silence past ``heartbeat_timeout`` kills the worker's process group and
+raises :class:`WorkerHung` (retryable, like a crash).  Independently, a
+per-job wall-clock deadline (``max_job_seconds`` server-wide, or the
+job's own ``deadline_s``) kills an overrunning worker and raises
+:class:`DeadlineExceeded` — a *permanent* failure: the job was not
+unlucky, it was too big for its budget.
 
 Results are bit-identical to the in-thread backend: the worker runs the
 same executors against the same artifact store (``CACHE_DIR`` is shipped
@@ -44,6 +60,7 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 import traceback
 from pathlib import Path
@@ -69,7 +86,50 @@ class WorkerError(RuntimeError):
 
 
 class WorkerCrashed(WorkerError):
-    """The worker process died without reporting a result."""
+    """The worker process died without reporting a result.
+
+    Retryable: the fault may be transient (OOM kill, node pressure, an
+    injected crash) — the scheduler re-runs the job in a fresh worker,
+    with exponential backoff, up to its retry budget.
+    """
+
+
+class WorkerHung(WorkerCrashed):
+    """The heartbeat watchdog killed a silent worker.
+
+    A :class:`WorkerCrashed` subclass, so hangs share the crash retry
+    policy: the slot is reclaimed immediately and the job gets a fresh
+    worker instead of holding its slot forever.
+    """
+
+
+class DeadlineExceeded(WorkerError):
+    """The job overran its wall-clock deadline and was killed.
+
+    Deliberately *not* a :class:`WorkerCrashed`: exceeding a deadline is
+    a property of the request, not a transient fault — retrying would
+    just burn another deadline's worth of compute.  The job fails
+    permanently with a distinct ``deadline exceeded`` error.
+    """
+
+
+def describe_exit(exitcode: int | None) -> str:
+    """Human-readable worker exit: signal names for negative codes so
+    operators can triage a crash from the job's error field alone."""
+    if exitcode is None:
+        return "no exit code"
+    if exitcode < 0:
+        try:
+            name = signal.Signals(-exitcode).name
+        except ValueError:
+            name = f"signal {-exitcode}"
+        hint = (
+            " — possible OOM or external kill"
+            if -exitcode == signal.SIGKILL
+            else ""
+        )
+        return f"killed by {name}{hint}"
+    return f"exit code {exitcode}"
 
 
 class _WorkerContext:
@@ -77,19 +137,50 @@ class _WorkerContext:
 
     Mirrors :class:`repro.service.scheduler.JobContext`: ``emit`` ships
     progress up the pipe, ``cancel`` is the shared token the engine's
-    checkpoints poll.
+    checkpoints poll.  The token's ``heartbeat`` hook is wired to a
+    throttled pipe ping, so every engine checkpoint refreshes the
+    monitor's watchdog clock.
     """
 
-    def __init__(self, conn, cancel_token, workers: int) -> None:
+    def __init__(
+        self,
+        conn,
+        cancel_token,
+        workers: int,
+        heartbeat_every: float = 1.0,
+        attempt: int = 1,
+    ) -> None:
         self._conn = conn
+        # pipe sends are length-prefixed and NOT safe under concurrent
+        # writers: serialize within this process, and refuse to write
+        # from fork-pool children that inherited us (they inherit the
+        # token — and with it this heartbeat hook — via fork)
+        self._send_lock = threading.Lock()
+        self._pid = os.getpid()
+        self._hb_every = max(0.05, heartbeat_every)
+        self._hb_last = time.monotonic()
         self.cancel = cancel_token
+        cancel_token.heartbeat = self._maybe_heartbeat
         self.workers = workers
+        self.attempt = attempt
 
-    def emit(self, stage: str, detail: str = "") -> None:
+    def _send(self, message) -> None:
+        if os.getpid() != self._pid:
+            return  # an engine fork child; the pipe belongs to the worker
         try:
-            self._conn.send(("event", stage, detail))
+            with self._send_lock:
+                self._conn.send(message)
         except (BrokenPipeError, OSError):
             pass  # monitor went away; keep computing (or die with it)
+
+    def _maybe_heartbeat(self) -> None:
+        now = time.monotonic()
+        if now - self._hb_last >= self._hb_every:
+            self._hb_last = now
+            self._send(("hb", None))
+
+    def emit(self, stage: str, detail: str = "") -> None:
+        self._send(("event", stage, detail))
 
     def cancelled(self) -> bool:
         return self.cancel.is_set()
@@ -106,6 +197,8 @@ def _worker_main(
     params: dict,
     workers: int,
     cache_dir: str | None,
+    attempt: int = 1,
+    heartbeat_every: float = 1.0,
 ) -> None:
     """Worker-process entry: run one job's executor, report, exit.
 
@@ -114,7 +207,9 @@ def _worker_main(
     table (it must be a picklable module-level callable), *cache_dir*
     re-points the runner's artifact store (spawn inherits the
     environment but **not** parent module-global mutations like
-    ``runner.CACHE_DIR``).
+    ``runner.CACHE_DIR``).  *attempt* arms per-attempt fault triggers
+    (``REPRO_FAULTS`` rides in on the inherited environment) and
+    *heartbeat_every* throttles the checkpoint heartbeat pings.
     """
     try:
         os.setsid()  # own process group: the kill backstop reaps our forks
@@ -122,11 +217,23 @@ def _worker_main(
         pass
     from repro.bench import runner
     from repro.parallel.cancel import CancelToken
+    from repro.service import faults
 
     if cache_dir is not None:
         runner.CACHE_DIR = Path(cache_dir)
-    ctx = _WorkerContext(conn, CancelToken(cancel_event), workers)
+    faults.set_attempt(attempt)
+    ctx = _WorkerContext(
+        conn,
+        CancelToken(cancel_event),
+        workers,
+        heartbeat_every=heartbeat_every,
+        attempt=attempt,
+    )
+    # first pipe message: resets the monitor's watchdog clock, so slow
+    # interpreter/numpy imports are never mistaken for a hang
+    ctx.emit("booted", f"worker pid {os.getpid()}, attempt {attempt}")
     try:
+        faults.hit("worker.start")
         executors = factory()
         result = executors[kind](params, ctx)
     except JobCancelled:
@@ -156,21 +263,47 @@ class ProcessBackend:
     state machine is backend-agnostic.
     """
 
-    def __init__(self, kill_grace: float = DEFAULT_KILL_GRACE_S) -> None:
+    def __init__(
+        self,
+        kill_grace: float = DEFAULT_KILL_GRACE_S,
+        heartbeat_timeout: float | None = None,
+        max_job_seconds: float | None = None,
+    ) -> None:
         if kill_grace <= 0:
             raise ValueError(f"kill_grace must be > 0, got {kill_grace}")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be > 0 or None, got {heartbeat_timeout}"
+            )
+        if max_job_seconds is not None and max_job_seconds <= 0:
+            raise ValueError(
+                f"max_job_seconds must be > 0 or None, got {max_job_seconds}"
+            )
         self.kill_grace = kill_grace
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_job_seconds = max_job_seconds
 
-    def run(self, job, ctx, factory):
+    def run(self, job, ctx, factory, attempt: int = 1):
         """Execute *job* in a worker process; return its result dict.
 
         Raises :class:`JobCancelled` when the job was cancelled (via a
         cooperative checkpoint or the kill backstop),
-        :class:`WorkerError` when the executor raised, and
-        :class:`WorkerCrashed` when the worker died without an answer.
+        :class:`WorkerError` when the executor raised,
+        :class:`DeadlineExceeded` when the job overran its wall-clock
+        budget, :class:`WorkerHung` when the heartbeat watchdog killed a
+        silent worker, and :class:`WorkerCrashed` when the worker died
+        without an answer.
         """
         from repro.bench import runner
 
+        deadline_s = getattr(job, "deadline_s", None)
+        if deadline_s is None:
+            deadline_s = self.max_job_seconds
+        heartbeat_every = (
+            min(1.0, self.heartbeat_timeout / 4.0)
+            if self.heartbeat_timeout
+            else 1.0
+        )
         mp = spawn_context()
         cancel_event = mp.Event()
         recv, send = mp.Pipe(duplex=False)
@@ -178,9 +311,10 @@ class ProcessBackend:
             target=_worker_main,
             args=(
                 send, cancel_event, factory, job.kind, job.params,
-                ctx.workers, str(runner.CACHE_DIR),
+                ctx.workers, str(runner.CACHE_DIR), attempt,
+                heartbeat_every,
             ),
-            name=f"repro-worker-{job.id}",
+            name=f"repro-worker-{job.id}-a{attempt}",
         )
         process.start()
         send.close()  # keep one writer so EOF means the worker is gone
@@ -188,24 +322,54 @@ class ProcessBackend:
         outcome = None
         kill_deadline = None
         killed = False
+        hung = False
+        deadline_hit = False
+        started = time.monotonic()
+        last_msg = started  # refreshed by every pipe message (events, hb)
         try:
             while outcome is None:
+                now = time.monotonic()
                 if kill_deadline is None and self._cancelling(job, ctx):
                     cancel_event.set()
-                    kill_deadline = time.monotonic() + self.kill_grace
+                    kill_deadline = now + self.kill_grace
                     ctx.emit(
                         "cancelling",
                         f"cooperative checkpoint, worker kill in "
                         f"{self.kill_grace:.1f}s",
                     )
+                if kill_deadline is None and not killed:
+                    # watchdog passes run only until a kill is in motion
+                    if deadline_s and now - started >= deadline_s:
+                        deadline_hit = True
+                        ctx.emit(
+                            "deadline",
+                            f"wall clock exceeded {deadline_s:.1f}s; "
+                            f"killing worker",
+                        )
+                        self._kill(process)
+                        killed = True
+                    elif (
+                        self.heartbeat_timeout
+                        and now - last_msg >= self.heartbeat_timeout
+                    ):
+                        hung = True
+                        ctx.emit(
+                            "hung",
+                            f"no heartbeat for "
+                            f"{self.heartbeat_timeout:.1f}s; killing "
+                            f"worker process group",
+                        )
+                        self._kill(process)
+                        killed = True
                 if (
                     kill_deadline is not None
                     and not killed
-                    and time.monotonic() >= kill_deadline
+                    and now >= kill_deadline
                 ):
                     self._kill(process)
                     killed = True
                 if recv.poll(0.05):
+                    last_msg = time.monotonic()
                     got = self._pump(recv, ctx)
                     if got is _EOF:
                         break
@@ -232,9 +396,20 @@ class ProcessBackend:
                 raise JobCancelled(
                     "worker process terminated after cancellation"
                 )
+            if deadline_hit:
+                raise DeadlineExceeded(
+                    f"deadline exceeded: {job.id} ran past "
+                    f"{deadline_s:.1f}s wall clock and was killed"
+                )
+            if hung:
+                raise WorkerHung(
+                    f"worker process for {job.id} presumed hung: no "
+                    f"heartbeat for {self.heartbeat_timeout:.1f}s; "
+                    f"process group killed"
+                )
             raise WorkerCrashed(
                 f"worker process for {job.id} died unexpectedly "
-                f"(exit code {process.exitcode})"
+                f"({describe_exit(process.exitcode)})"
             )
         tag, value = outcome
         if tag == "done":
@@ -255,6 +430,8 @@ class ProcessBackend:
             message = recv.recv()
         except (EOFError, OSError):
             return _EOF
+        if message[0] == "hb":
+            return None  # heartbeat: refreshes the watchdog clock only
         if message[0] == "event":
             ctx.emit(message[1], message[2])
             return None

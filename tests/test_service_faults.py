@@ -1,0 +1,166 @@
+"""The fault-injection harness itself: spec parsing and firing rules.
+
+Chaos tests are only as trustworthy as the injector, so the injector
+gets its own unit coverage: the ``REPRO_FAULTS`` grammar (malformed
+specs must fail loudly), trigger semantics (``nth``, ``on_attempt``,
+``p`` with a seeded stream), the cheap no-op path when the variable is
+unset, and re-arming when the spec changes mid-process.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service import faults
+from repro.service.faults import (
+    FAULTS_ENV,
+    FaultInjected,
+    FaultSpecError,
+    parse_spec,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults(monkeypatch):
+    """Every test starts with chaos off and attempt 1."""
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    faults.set_attempt(1)
+    yield
+    faults.set_attempt(1)
+
+
+class TestParseSpec:
+    def test_single_clause(self):
+        rules = parse_spec("worker.start=crash")
+        assert set(rules) == {"worker.start"}
+        rule = rules["worker.start"]
+        assert rule.action == "crash"
+        assert rule.p == 1.0
+        assert rule.nth is None and rule.on_attempt is None
+
+    def test_triggers_and_multiple_sites(self):
+        rules = parse_spec(
+            "store.read=raise:p=0.25,seed=7;"
+            "explore.batch=delay:ms=50,nth=3;"
+            "worker.start=hang:on_attempt=2"
+        )
+        assert set(rules) == {"store.read", "explore.batch", "worker.start"}
+        assert rules["store.read"].p == 0.25
+        assert rules["store.read"].seed == 7
+        assert rules["explore.batch"].ms == 50.0
+        assert rules["explore.batch"].nth == 3
+        assert rules["worker.start"].on_attempt == 2
+
+    def test_blank_clauses_skipped(self):
+        assert parse_spec("") == {}
+        assert set(parse_spec(" ; worker.start=crash ; ")) == {"worker.start"}
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "worker.start",  # no action
+            "=crash",  # no site
+            "worker.start=segfault",  # unknown action
+            "worker.start=crash:nth",  # trigger without value
+            "worker.start=crash:frequency=2",  # unknown trigger
+            "worker.start=crash:nth=two",  # non-numeric value
+            "worker.start=raise:p=1.5",  # probability out of range
+        ],
+    )
+    def test_malformed_specs_fail_loudly(self, spec):
+        with pytest.raises(FaultSpecError):
+            parse_spec(spec)
+
+    def test_hit_raises_on_malformed_spec(self, monkeypatch):
+        # a chaos run with a typo'd spec must not silently inject nothing
+        monkeypatch.setenv(FAULTS_ENV, "worker.start=segfault")
+        with pytest.raises(FaultSpecError):
+            faults.hit("worker.start")
+
+
+class TestHit:
+    def test_noop_when_env_unset(self):
+        for _ in range(10):
+            faults.hit("worker.start")  # must not raise, must be free
+
+    def test_unarmed_site_is_untouched(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "store.read=raise")
+        faults.hit("worker.start")  # different site: no fire
+        with pytest.raises(FaultInjected):
+            faults.hit("store.read")
+
+    def test_raise_action(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "x=raise")
+        with pytest.raises(FaultInjected, match="site 'x'"):
+            faults.hit("x")
+
+    def test_nth_trigger(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "x=raise:nth=2")
+        faults.hit("x")  # 1st hit: armed but not the nth
+        with pytest.raises(FaultInjected):
+            faults.hit("x")  # 2nd hit fires
+        faults.hit("x")  # 3rd hit: past the nth, quiet again
+
+    def test_on_attempt_trigger(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "x=raise:on_attempt=1")
+        faults.set_attempt(2)
+        faults.hit("x")  # retry attempt: the first-attempt fault is gone
+        faults.set_attempt(1)
+        with pytest.raises(FaultInjected):
+            faults.hit("x")
+
+    def test_probability_zero_never_fires(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "x=raise:p=0.0")
+        for _ in range(50):
+            faults.hit("x")
+
+    def test_probability_stream_is_seed_deterministic(self, monkeypatch):
+        def firing_pattern(spec):
+            monkeypatch.setenv(FAULTS_ENV, spec)
+            pattern = []
+            for _ in range(40):
+                try:
+                    faults.hit("x")
+                    pattern.append(False)
+                except FaultInjected:
+                    pattern.append(True)
+            return pattern
+
+        first = firing_pattern("x=raise:p=0.5,seed=7")
+        # rotate through a different spec so the cached plan (and its
+        # advanced RNG stream) is dropped before the replay
+        monkeypatch.setenv(FAULTS_ENV, "y=delay:ms=0")
+        faults.hit("y")
+        second = firing_pattern("x=raise:p=0.5,seed=7")
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_delay_action_sleeps_then_continues(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "x=delay:ms=30")
+        start = time.monotonic()
+        faults.hit("x")
+        assert time.monotonic() - start >= 0.02
+
+    def test_hang_action_honors_ms_cap(self, monkeypatch):
+        # an uncapped hang is watchdog prey; the ms cap keeps unit tests
+        # out of the watchdog's jurisdiction
+        monkeypatch.setenv(FAULTS_ENV, "x=hang:ms=300")
+        start = time.monotonic()
+        faults.hit("x")
+        assert time.monotonic() - start >= 0.2
+
+    def test_spec_change_rearms(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "x=raise:nth=1")
+        with pytest.raises(FaultInjected):
+            faults.hit("x")
+        monkeypatch.setenv(FAULTS_ENV, "y=raise:nth=1")
+        faults.hit("x")  # no longer armed
+        with pytest.raises(FaultInjected):
+            faults.hit("y")  # fresh plan, fresh counters
+
+    def test_active_spec_reports_env(self, monkeypatch):
+        assert faults.active_spec() == ""
+        monkeypatch.setenv(FAULTS_ENV, "x=crash")
+        assert faults.active_spec() == "x=crash"
