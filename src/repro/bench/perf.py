@@ -4,16 +4,20 @@
 of the analyze pipeline — Algorithm 1 exploration, Algorithm 2 peak power,
 §3.3 peak energy, and the input-profiling baseline — on the same
 benchmarks, always cold (no disk cache involved), and writes a
-``BENCH_suite.json`` artifact (schema 2) with per-phase wall-clock so
+``BENCH_suite.json`` artifact (schema 3) with per-phase wall-clock so
 future PRs can attribute speedups and catch regressions of each hot path
 separately.  The GA stressmark baseline is program-independent and timed
 once per report.
 
-The explore phase is timed under **three** engines: the scalar uint8
+The explore phase is timed under **four** engines: the scalar uint8
 reference (one path at a time), the batched uint8 reference (the PR 2
-baseline engine), and the batched bit-plane engine (the default) —
-``bitplane_speedup`` is therefore the bit-plane gain over the PR 2
-baseline at equal results.  Every comparison also cross-checks the
+baseline engine), the batched bit-plane engine, and the compiled native
+kernel (the one-foreign-call-per-settle C engine, skipped with its keys
+absent when no C compiler is available) — ``bitplane_speedup`` is the
+bit-plane gain over the PR 2 baseline and ``native_speedup`` the native
+gain over bit-plane, all at equal results.  The kernel's one-time
+compile cost is reported as ``engine.native_build_s`` (0.0 when it came
+from the artifact-store cache).  Every comparison also cross-checks the
 engines against each other (tree shape, bit-identical value/activity
 matrices, bit-identical peak traces, identical profiling measurements),
 so a bench run doubles as a coarse differential test.
@@ -112,6 +116,19 @@ def run_perf_suite(
     time_sharded = workers > 1 and fork_available()
     cpu = cpu or build_ulp430()
     model = PowerModel(cpu.netlist, SG65, clock_ns=10.0)
+    # Build (or cache-load) the native kernel once up front so the timed
+    # explore runs measure settles, not the C compile.  A compiler-less
+    # host falls back to the bitplane evaluator (with the one-time
+    # warning) — detected here so the artifact omits the native keys
+    # instead of re-labeling bitplane timings.
+    native_evaluator = cpu.evaluator_for("native")
+    native_available = (
+        getattr(native_evaluator, "engine_name", None) == "native"
+    )
+    native_build_s = (
+        round(native_evaluator.kernel.build_s, 3) if native_available
+        else None
+    )
     rows = []
     for name in names:
         benchmark = get_benchmark(name)
@@ -168,6 +185,22 @@ def run_perf_suite(
             raise AssertionError(
                 f"{name}: bitplane and reference traces disagree"
             )
+        explore_native_s = None
+        if native_available:
+            explore_native_s, native_tree = _best(
+                lambda: run_explore(None, "native"), repeats
+            )
+            if (
+                native_tree.n_cycles, len(native_tree.segments)
+            ) != scalar_shape:
+                raise AssertionError(
+                    f"{name}: native explore changed the tree shape"
+                )
+            if trace_digest(native_tree) != reference_digest:
+                raise AssertionError(
+                    f"{name}: native and reference traces disagree"
+                )
+            del native_tree
         explore_sharded_s = None
         if time_sharded:
             explore_sharded_s, sharded_tree = _best(
@@ -245,6 +278,16 @@ def run_perf_suite(
                 tree.n_cycles / explore_bitplane_s, 1
             ),
         }
+        if explore_native_s is not None:
+            explore_row["native_s"] = round(explore_native_s, 3)
+            # gain of the compiled kernel over the numpy bitplane tape
+            # at identical results
+            explore_row["native_speedup"] = round(
+                explore_bitplane_s / explore_native_s, 2
+            ) if explore_native_s else 0.0
+            explore_row["native_cycles_per_s"] = round(
+                tree.n_cycles / explore_native_s, 1
+            )
         if explore_sharded_s is not None:
             explore_row["sharded_s"] = round(explore_sharded_s, 3)
             explore_row["sharded_workers"] = workers
@@ -291,19 +334,24 @@ def run_perf_suite(
         raise AssertionError("stressmark: GA engines disagree")
     from repro.sim.bitplane import default_engine
 
+    engine_block = {
+        "batch_size": batch_size,
+        # the engine the non-explore phases actually ran under (the
+        # explore phase always times every engine configuration)
+        "sim_engine": default_engine(),
+        "bitplane_batch_size": default_batch_size("bitplane"),
+        "repeats": repeats,
+        "workers": workers,
+        "islands": islands,
+        "migration_interval": migration_interval,
+    }
+    if native_build_s is not None:
+        # one-time C compile of the per-netlist kernel (0.0 = loaded
+        # from the artifact-store cache); absent = no C compiler
+        engine_block["native_build_s"] = native_build_s
     return {
-        "schema": 2,
-        "engine": {
-            "batch_size": batch_size,
-            # the engine the non-explore phases actually ran under (the
-            # explore phase always times all three engine configurations)
-            "sim_engine": default_engine(),
-            "bitplane_batch_size": default_batch_size("bitplane"),
-            "repeats": repeats,
-            "workers": workers,
-            "islands": islands,
-            "migration_interval": migration_interval,
-        },
+        "schema": 3,
+        "engine": engine_block,
         "host": {
             "python": platform.python_version(),
             "machine": platform.machine(),

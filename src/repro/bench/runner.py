@@ -183,19 +183,23 @@ class BenchmarkResults:
 
 
 def x_based(
-    name: str, workers: int | None = None, cancel=None
+    name: str, workers: int | None = None, cancel=None,
+    engine: str | None = None,
 ) -> BenchmarkResults:
     """Cached X-based (our-technique) results for one benchmark.
 
     *workers* only parallelizes a cold compute (the service's per-job
     budget); results — and hence the cache key — are identical at any
-    worker count, so it never fragments the store.  *cancel* aborts a
-    cold compute at the next engine checkpoint (cache hits return
-    immediately either way); cancellation never publishes an artifact.
+    worker count, so it never fragments the store.  The same holds for
+    *engine* (all engines are bit-identical), so neither knob is part of
+    the cache key.  *cancel* aborts a cold compute at the next engine
+    checkpoint (cache hits return immediately either way); cancellation
+    never publishes an artifact.
     """
 
     def compute() -> BenchmarkResults:
-        report = full_report(name, workers=workers, cancel=cancel)
+        report = full_report(name, workers=workers, cancel=cancel,
+                             engine=engine)
         return BenchmarkResults(
             name=name,
             peak_power_mw=report.peak_power_mw,
@@ -212,13 +216,15 @@ def x_based(
 
 
 def full_report(
-    name: str, workers: int | None = None, cancel=None
+    name: str, workers: int | None = None, cancel=None,
+    engine: str | None = None,
 ) -> AnalysisReport:
     """Uncached full analysis (tree included) — for COI/validation flows.
 
-    *workers* spreads a cold analysis over that many cores
-    (bit-identical at any count, see :func:`repro.core.api.analyze`);
-    *cancel* threads into the analysis checkpoints.
+    *workers* spreads a cold analysis over that many cores and *engine*
+    picks the simulation representation (bit-identical either way, see
+    :func:`repro.core.api.analyze`); *cancel* threads into the analysis
+    checkpoints.
     """
     key = f"report_{name}"
     if key in _memory_cache:
@@ -230,13 +236,16 @@ def full_report(
         shared_model(),
         workers=workers,
         cancel=cancel,
+        engine=engine,
         **benchmark.analysis_kwargs(),
     )
     _memory_cache[key] = report
     return report
 
 
-def profiling(name: str, cancel=None) -> ProfilingBaseline:
+def profiling(
+    name: str, cancel=None, engine: str | None = None
+) -> ProfilingBaseline:
     """Cached guardbanded input-profiling baseline for one benchmark."""
 
     def compute() -> ProfilingBaseline:
@@ -247,6 +256,7 @@ def profiling(name: str, cancel=None) -> ProfilingBaseline:
             benchmark.input_sets(N_PROFILING_INPUTS),
             shared_model(),
             cancel=cancel,
+            engine=engine,
         )
 
     benchmark = get_benchmark(name)

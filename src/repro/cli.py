@@ -29,8 +29,11 @@ including seed-era legacy pickles.
 
 Engine knobs shared by the analysis commands: ``--engine bitplane``
 (default) simulates on packed dual-rail uint64 bit planes, ``--engine
-reference`` on the original uint8 evaluator — bit-identical results either
-way (also settable via ``REPRO_ENGINE``).  ``--batch-size N`` settles N
+native`` on a per-netlist C kernel compiled and cached at first use
+(one foreign call per settle; falls back to bitplane with a warning when
+no C compiler is available), ``--engine reference`` on the original
+uint8 evaluator — bit-identical results every way (also settable via
+``REPRO_ENGINE``).  ``--batch-size N`` settles N
 execution paths in lock-step (1 = one path at a time; default 32 for the
 bitplane engine, 8 for the reference engine, or ``REPRO_BATCH_SIZE``).
 ``--workers N`` spreads one analysis over N cores — sharded path-queue
@@ -56,6 +59,7 @@ from repro.core.baselines import GUARDBAND, input_profiling
 from repro.core.coi import cycles_of_interest, dominant_modules
 from repro.cpu import build_ulp430
 from repro.power import PowerModel
+from repro.sim.bitplane import ENGINES
 
 
 class CliError(Exception):
@@ -203,8 +207,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     write_report(report, args.output)
     for row in report["benchmarks"]:
         ex = row["explore"]
+        native = (
+            f"native {ex['native_speedup']:.2f}x vs bitplane "
+            f"({ex['native_s']:.2f}s), " if "native_s" in ex else ""
+        )
         print(f"{row['name']:>10}: "
-              f"explore bitplane {ex['bitplane_speedup']:.2f}x vs batched "
+              f"explore {native}"
+              f"bitplane {ex['bitplane_speedup']:.2f}x vs batched "
               f"ref ({ex['batched_s']:.2f}s -> {ex['bitplane_s']:.2f}s; "
               f"scalar ref {ex['scalar_s']:.2f}s), "
               f"peakpower {row['peakpower']['speedup']:.2f}x "
@@ -252,6 +261,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
     params = {}
     if args.kind in ("analyze", "profile"):
         params["benchmark"] = args.benchmark
+        if args.engine is not None:
+            params["engine"] = args.engine
     else:
         params["objective"] = args.benchmark
         if args.islands is not None:
@@ -364,10 +375,11 @@ def build_parser() -> argparse.ArgumentParser:
                  "$REPRO_BATCH_SIZE)",
         )
         sub_parser.add_argument(
-            "--engine", choices=("bitplane", "reference"), default=None,
+            "--engine", choices=ENGINES, default=None,
             help="simulation representation: packed dual-rail bit planes "
-                 "(default) or the uint8 reference evaluator; results are "
-                 "bit-identical (also $REPRO_ENGINE)",
+                 "(default), a compiled per-netlist C kernel, or the uint8 "
+                 "reference evaluator; results are bit-identical (also "
+                 "$REPRO_ENGINE)",
         )
         sub_parser.add_argument(
             "--workers", type=int, default=None, metavar="N",
@@ -501,6 +513,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--deadline", type=float, default=0.0, metavar="S",
                           help="server-side wall-clock budget: the job is "
                                "killed and failed past S seconds (0 = none)")
+    p_submit.add_argument("--engine", choices=ENGINES, default=None,
+                          help="simulation engine the server should use "
+                               "for this job (kinds analyze/profile)")
     add_island_knobs(p_submit)
     p_submit.set_defaults(func=cmd_submit)
 

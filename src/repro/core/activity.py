@@ -46,10 +46,11 @@ from repro.sim.trace import CycleRecord, Trace
 #: the ``REPRO_BATCH_SIZE`` environment variable (1 = scalar engine).
 DEFAULT_BATCH_SIZE = 8
 
-#: wider default for the bitplane engine: its per-cycle cost is dominated
-#: by fixed numpy dispatch overhead that amortizes across live lanes, so
-#: deep pending-path queues benefit from more lanes at negligible memory
-#: cost (a lane is ~7 KB of packed planes).
+#: wider default for the bitplane/native engines: their per-cycle cost is
+#: dominated by fixed dispatch overhead (numpy op issue for bitplane, the
+#: per-settle foreign call + trace bookkeeping for native) that amortizes
+#: across live lanes, so deep pending-path queues benefit from more lanes
+#: at negligible memory cost (a lane is ~18 KB of packed planes).
 BITPLANE_DEFAULT_BATCH_SIZE = 32
 
 
@@ -57,7 +58,7 @@ def default_batch_size(engine: str | None = None) -> int:
     """Batch width for *engine* (resolved) honoring ``REPRO_BATCH_SIZE``."""
     raw = os.environ.get("REPRO_BATCH_SIZE")
     if not raw:
-        if engine == "bitplane":
+        if engine in ("bitplane", "native"):
             return BITPLANE_DEFAULT_BATCH_SIZE
         return DEFAULT_BATCH_SIZE
     try:
@@ -367,12 +368,18 @@ def _explore_batched(
     cancel=None,
 ) -> ExecutionTree:
     machine = cpu.make_machine(program, symbolic_inputs=True, engine=engine)
+    # record_packed defers unpacking to the trace boundary (lazy per
+    # record, bulk for values_matrix/active_matrix): on the packed
+    # engines the explore loop then never unpacks a row it only forks
+    # from.  The parallel explorer has always run this way; the replay
+    # in _assemble_tree is representation-agnostic either way.
     batch = BatchMachine(
         machine.netlist,
         machine.ports,
         machine.evaluator,
         batch_size,
         annotator=machine.annotator,
+        record_packed=True,
     )
     evaluator = machine.evaluator
 

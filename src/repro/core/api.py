@@ -88,8 +88,10 @@ def analyze(
     :func:`repro.core.activity.explore`): ``1`` forces one path at a
     time, larger values settle that many execution paths in lock-step.
     *engine* selects the simulation representation — ``"bitplane"``
-    (packed dual-rail, the default) or ``"reference"`` (the uint8
-    oracle); ``None`` honors ``REPRO_ENGINE``.  *workers* spreads one
+    (packed dual-rail, the default), ``"native"`` (the compiled
+    per-netlist C kernel, bitplane fallback when no compiler), or
+    ``"reference"`` (the uint8 oracle); ``None`` honors
+    ``REPRO_ENGINE``.  *workers* spreads one
     benchmark's analysis over that many cores: exploration shards its
     pending-path queue across worker processes and the Algorithm 2
     kernel threads its row chunks (``None`` honors ``REPRO_WORKERS``,

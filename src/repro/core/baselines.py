@@ -85,9 +85,12 @@ def _measure(
 def profile_one(
     cpu, program: Program, inputs: list[int], model: PowerModel,
     port_in: int = 0, max_cycles: int = 200_000,
+    engine: str | None = None,
 ) -> ProfiledInput:
     concrete = program.with_inputs(inputs)
-    machine = cpu.make_machine(concrete, symbolic_inputs=False, port_in=port_in)
+    machine = cpu.make_machine(
+        concrete, symbolic_inputs=False, port_in=port_in, engine=engine
+    )
     trace = Trace(machine.netlist.n_nets)
     cpu.run_to_halt(machine, max_cycles=max_cycles, trace=trace)
     return _measure(inputs, trace, model)
@@ -101,6 +104,7 @@ def input_profiling(
     batch_size: int | None = None,
     max_cycles: int = 200_000,
     cancel=None,
+    engine: str | None = None,
 ) -> ProfilingBaseline:
     """The paper's profiling baseline over several input sets.
 
@@ -124,14 +128,18 @@ def input_profiling(
             if cancel is not None:
                 cancel.check()
             runs.append(
-                profile_one(cpu, program, inputs, model, max_cycles=max_cycles)
+                profile_one(
+                    cpu, program, inputs, model, max_cycles=max_cycles,
+                    engine=engine,
+                )
             )
         return ProfilingBaseline(runs=runs)
     if cancel is not None:
         cancel.check()
     machines = [
         cpu.make_machine(
-            program.with_inputs(inputs), symbolic_inputs=False, port_in=0
+            program.with_inputs(inputs), symbolic_inputs=False, port_in=0,
+            engine=engine,
         )
         for inputs in input_sets
     ]

@@ -17,11 +17,13 @@ Two engines implement the algorithm:
 
 * the **stacked** engine (the default) lays every segment out in one
   2-D tensor — a context row holding the predecessor values followed by
-  the segment's cycles — so X-assignment for *all* segments and *all*
-  same-parity cycles is a single gather/mask/scatter, and
-  :meth:`~repro.power.model.PowerModel.trace_power` runs **once** per
-  parity over the whole stack.  Context rows act as the segment-validity
-  mask: their power values are simply never gathered back.  (The padded
+  the segment's cycles — so X-assignment covers *all* segments and *all*
+  same-parity cycles in one pass per parity, walked in cache-sized
+  blocks: each :attr:`~repro.power.model.PowerModel.TRACE_CHUNK_ROWS`
+  span of target rows is gathered, X-assigned, and priced before the
+  next (targets of one parity are independent, so blocking never changes
+  a float).  Context rows act as the segment-validity mask: their power
+  values are simply never gathered back.  (The padded
   ``(n_segments, max_len, n_nets)`` formulation would waste
   ``max_len/mean_len`` of the tensor on padding; interleaving context
   rows keeps the stack dense with identical semantics.)
@@ -349,13 +351,22 @@ def _compute_stacked(
         _stack_layout(tree)
     )
 
-    # One maximization + one power evaluation per parity, whole stack at
-    # a time.  Parity 1 targets local rows 1,3,5..., parity 0 rows 2,4,...
-    # The peak trace takes cycle c from the profile that targeted c's
-    # parity, so each profile is priced only at its own target rows — a
-    # parity-indexed scatter replaces the per-cycle choice loop.  The
-    # full witness profiles are *not* assembled here; the witness builder
-    # recomputes them from the tree if anyone asks.
+    # One maximization + one power evaluation per parity, walked in
+    # cache-sized blocks.  Parity 1 targets local rows 1,3,5..., parity 0
+    # rows 2,4,...  The peak trace takes cycle c from the profile that
+    # targeted c's parity, so each profile is priced only at its own
+    # target rows — a parity-indexed scatter replaces the per-cycle
+    # choice loop.  Each block gathers, X-assigns, and prices one
+    # TRACE_CHUNK_ROWS span of target rows before moving on
+    # (:meth:`PowerModel.pair_power` pulls the pairs per chunk): every
+    # target touches only itself and its own predecessor row and the
+    # assignment writes only into the gathered copies, so blocks are
+    # independent — the big Viterbi/PI stacks never materialize the
+    # full-parity (targets, n_nets) pair/mask temporaries that made the
+    # sweep bandwidth-bound, and the floats are bit-identical because
+    # the pricing kernel sees the same rows in the same chunk spans.
+    # The full witness profiles are *not* assembled here; the witness
+    # builder recomputes them from the tree if anyone asks.
     odd_local = local_index % 2 == 1
     peak_trace = np.empty(n_cycles)
     module_mw = {name: np.empty(n_cycles) for name in module_names}
@@ -365,12 +376,16 @@ def _compute_stacked(
             cancel.check()
         faults.hit("peakpower.segment")
         target_rows = data_rows[parity_mask]
-        new_prv, new_cur = _assign_parity_pairs(
-            stacked, stacked_active, target_rows, model.max_prev, model.max_cur
-        )
-        power = model.transition_power(
-            new_prv,
-            new_cur,
+
+        def pairs(start: int, stop: int):
+            return _assign_parity_pairs(
+                stacked, stacked_active, target_rows[start:stop],
+                model.max_prev, model.max_cur,
+            )
+
+        power = model.pair_power(
+            pairs,
+            len(target_rows),
             stacked_mem[target_rows],
             per_module=per_module,
             workers=workers,
@@ -380,7 +395,12 @@ def _compute_stacked(
             module_mw[name][parity_mask] = power.module_mw[name]
         if vcd_dir is not None:
             # a VCD dump will need the witnesses immediately: assemble
-            # them from the pairs just computed instead of re-deriving
+            # them from freshly computed full-parity pairs instead of
+            # re-deriving the whole layout later
+            new_prv, new_cur = _assign_parity_pairs(
+                stacked, stacked_active, target_rows,
+                model.max_prev, model.max_cur,
+            )
             assigned = stacked.copy()
             assigned[target_rows] = new_cur
             assigned[target_rows - 1] = new_prv

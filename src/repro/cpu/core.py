@@ -627,13 +627,20 @@ class Ulp430(object):
         #: the packed dual-rail evaluator, compiled on first use and then
         #: shared by every machine/batch built from this CPU
         self._bitplane_evaluator = None
+        #: the native-kernel evaluator (or the bitplane one after a
+        #: compiler-less fallback), built on first use
+        self._native_evaluator = None
 
     # ------------------------------------------------------------------
     # Machine construction
     # ------------------------------------------------------------------
     def evaluator_for(self, engine: str | None = None):
         """The shared evaluator for *engine* (``None``: ``REPRO_ENGINE``)."""
-        from repro.sim.bitplane import BitplaneEvaluator, default_engine
+        from repro.sim.bitplane import (
+            ENGINES,
+            BitplaneEvaluator,
+            default_engine,
+        )
 
         engine = engine or default_engine()
         if engine == "reference":
@@ -642,8 +649,27 @@ class Ulp430(object):
             if self._bitplane_evaluator is None:
                 self._bitplane_evaluator = BitplaneEvaluator(self.netlist)
             return self._bitplane_evaluator
+        if engine == "native":
+            if self._native_evaluator is None:
+                # share the compiled program with the bitplane evaluator
+                # (one schedule compile per CPU, whatever engines run)
+                base = self.evaluator_for("bitplane")
+                from repro.sim.native import (
+                    NativeEvaluator,
+                    NativeKernelError,
+                    warn_fallback,
+                )
+
+                try:
+                    self._native_evaluator = NativeEvaluator(
+                        self.netlist, base.program
+                    )
+                except NativeKernelError as exc:
+                    warn_fallback(exc)
+                    self._native_evaluator = base
+            return self._native_evaluator
         raise ValueError(
-            f"unknown engine {engine!r}; expected 'bitplane' or 'reference'"
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
         )
 
     def make_machine(

@@ -47,24 +47,32 @@ from repro.netlist.core import Netlist
 #: plane indices within the ``(..., 3, n_words)`` state array
 P_PLANE, N_PLANE, A_PLANE = 0, 1, 2
 
-#: opcode-run classes, in their fixed within-level layout order.  ``and``
+#: opcode-run classes, in their fixed within-level layout order.  ``copy``
+#: moves one gathered rail pair straight to the output rails (BUF/NOT:
+#: the inversion folds into which rails the two slots read); ``and``
 #: computes ``p = pa & pb, n = na | nb``; ``and_swap`` the same with the
 #: result rails exchanged (the free output inversion); ``xor``/``xor_swap``
 #: the Kleene XOR and its complement; ``mux`` the optimistic-X 2:1 mux.
-RUN_ORDER = ("and", "and_swap", "xor", "xor_swap", "mux")
+#: ``mux`` must stay last: the activity sweep addresses the select-line
+#: block by the level tail.
+RUN_ORDER = ("copy", "and", "and_swap", "xor", "xor_swap", "mux")
 
 #: gate kind -> (run class, invert input rails?)
 KIND_CLASS = {
     "AND": ("and", False),
-    "BUF": ("and", False),  # AND(a, a)
+    "BUF": ("copy", False),
     "NOR": ("and", True),  # AND(~a, ~b)
     "OR": ("and_swap", True),  # ~AND(~a, ~b)
-    "NOT": ("and_swap", False),  # ~AND(a, a)
+    "NOT": ("copy", True),  # rail swap
     "NAND": ("and_swap", False),  # ~AND(a, b)
     "XOR": ("xor", False),
     "XNOR": ("xor_swap", False),
     "MUX": ("mux", False),
 }
+
+#: kinds whose output is a (possibly inverted) copy of their single input;
+#: reads *through* them are retargeted at their chain root
+_CHAIN_KINDS = ("BUF", "NOT")
 
 
 def _pad64(bits: int) -> int:
@@ -121,6 +129,23 @@ class NetlistProgram:
         self.n_nets = netlist.n_nets
         levels = netlist.levelize()
         self.depth = len(levels)
+
+        # ------------------------------------------------------------------
+        # BUF/NOT chain collapse.  A chain element's settled planes are an
+        # exact rail permutation of its chain root's (BUF keeps, NOT swaps),
+        # and its activity flag equals the root's (A(elem) = changed(elem)
+        # | (is_x(elem) & A(src)); changed/is_x are rail-swap invariant and
+        # A(src) already contains changed(src), so the recurrence telescopes
+        # to A(root)).  Every *read* of a chain element — gate inputs, mux
+        # selects, DFF D pins, activity slots — therefore retargets at the
+        # root with a parity-selected rail, shortening the gather's
+        # dependency chains; the elements themselves still settle (traces
+        # expose every net) but shrink to two-slot ``copy`` runs.
+        # ------------------------------------------------------------------
+        self.chain_of: dict[int, tuple[int, int]] = {}
+        for gate in netlist.gates:
+            if gate.kind in _CHAIN_KINDS:
+                self._resolve_chain(gate.index)
 
         # ------------------------------------------------------------------
         # Packed bit positions: [zero bit | inputs | consts | pad | DFFs |
@@ -226,6 +251,11 @@ class NetlistProgram:
         self.dff_bit_of = {
             int(net): pos for pos, net in enumerate(self.dff_out)
         }
+        # Both DFF gathers read the *raw* D net, not its chain root: they
+        # run against caller-supplied planes (next_dff_planes accepts any
+        # packed state; the stored A plane may be any vector), so the
+        # settled-chain identities that license retargeting within one
+        # settle do not apply to them.
         d_slots: list[tuple[int, int]] = []  # (plane, bit position)
         for rail in (P_PLANE, N_PLANE):
             for j in range(self.dff_words * 64):
@@ -283,40 +313,76 @@ class NetlistProgram:
         )
         return bytes_, masks
 
+    def _resolve_chain(self, net: int) -> tuple[int, int]:
+        """(chain root net, rail parity) for *net*, memoized.
+
+        The root is the first driver up the BUF/NOT chain that is not
+        itself a chain element; parity counts the NOTs passed (odd = the
+        element's P rail lives on the root's N rail and vice versa).
+        Non-chain nets are their own root with even parity.
+        """
+        path: list[int] = []
+        while net not in self.chain_of:
+            gate = self.netlist.gates[net]
+            if gate.kind not in _CHAIN_KINDS:
+                self.chain_of[net] = (net, 0)
+                break
+            path.append(net)
+            net = gate.inputs[0]
+        root, parity = self.chain_of[net]
+        for elem in reversed(path):
+            parity ^= int(self.netlist.gates[elem].kind == "NOT")
+            self.chain_of[elem] = (root, parity)
+        return self.chain_of[path[0] if path else net]
+
+    def _read_rails(self, net: int) -> tuple[int, int, int]:
+        """(P-rail plane, N-rail plane, bit position) to read *net* from,
+        chain collapse applied."""
+        root, parity = self.chain_of.get(net, (net, 0))
+        if parity:
+            return N_PLANE, P_PLANE, int(self.pos_of[root])
+        return P_PLANE, N_PLANE, int(self.pos_of[root])
+
     def _gate_eval_slots(self, index: int) -> list[tuple[int, int]]:
         """Input slot sources for one gate, rail folding applied.
 
-        Returns (plane, bit) pairs in the run's block order: PA, NA, PB,
-        NB for the two-input classes, SP, SN, PA, NA, PB, NB for muxes.
-        The PA/NA names refer to the *operand rails the run's formula
-        reads*; an inverting kind simply wires them to the other rail.
+        Returns (plane, bit) pairs in the run's block order: SRC_P,
+        SRC_N for ``copy``, PA, NA, PB, NB for the two-input classes,
+        SP, SN, PA, NA, PB, NB for muxes.  The PA/NA names refer to the
+        *operand rails the run's formula reads*; an inverting kind (or
+        an odd chain parity on the way to the operand's root) simply
+        wires them to the other rail.
         """
         gate = self.netlist.gates[index]
         _cls, invert_inputs = KIND_CLASS[gate.kind]
         ins = gate.inputs
-        if gate.kind in ("BUF", "NOT"):
-            a = b = ins[0]
-        elif gate.kind == "MUX":
+        if gate.kind in _CHAIN_KINDS:
+            sp, sn, pos = self._read_rails(ins[0])
+            if invert_inputs:  # NOT: output = rail swap of the source
+                sp, sn = sn, sp
+            return [(sp, pos), (sn, pos)]
+        if gate.kind == "MUX":
             # Block order SN, SP, PA, PB, NA, NB: the executor computes
             # both select products of one rail with a single double-width
             # AND over the adjacent (SN|SP) and (PA|PB) / (NA|NB) blocks.
             sel, a, b = ins
-            s, pa, pb = self.pos_of[sel], self.pos_of[a], self.pos_of[b]
+            sp, sn, s = self._read_rails(sel)
+            pa_r, na_r, pa = self._read_rails(a)
+            pb_r, nb_r, pb = self._read_rails(b)
             return [
-                (N_PLANE, s), (P_PLANE, s),
-                (P_PLANE, pa), (P_PLANE, pb),
-                (N_PLANE, pa), (N_PLANE, pb),
+                (sn, s), (sp, s),
+                (pa_r, pa), (pb_r, pb),
+                (na_r, pa), (nb_r, pb),
             ]
-        else:
-            a, b = ins
-        pa, na = self.pos_of[a], self.pos_of[a]
-        pb, nb = self.pos_of[b], self.pos_of[b]
-        p_rail, n_rail = (
-            (N_PLANE, P_PLANE) if invert_inputs else (P_PLANE, N_PLANE)
-        )
+        a, b = ins
+        pa_r, na_r, pa = self._read_rails(a)
+        pb_r, nb_r, pb = self._read_rails(b)
+        if invert_inputs:
+            pa_r, na_r = na_r, pa_r
+            pb_r, nb_r = nb_r, pb_r
         return [
-            (p_rail, pa), (n_rail, na),
-            (p_rail, pb), (n_rail, nb),
+            (pa_r, pa), (na_r, pa),
+            (pb_r, pb), (nb_r, pb),
         ]
 
     #: pad slot sources per class, chosen so a pad output settles to a
@@ -331,7 +397,9 @@ class NetlistProgram:
     #:             n = (PA&NB)|(NA&PB) = 1
     #:   mux:      SN=1, SP=0, PA=0, NA=1 -> p = (1&0)|(0&PB) = 0,
     #:             n = (1&1)|(0&NB) = 1
+    #:   copy:     p = P(zero) = 0, n = N(zero) = 1
     _PAD_SLOTS = {
+        "copy": [(P_PLANE, 0), (N_PLANE, 0)],
         "and": [(P_PLANE, 0), (N_PLANE, 0), (P_PLANE, 0), (N_PLANE, 0)],
         "and_swap": [(N_PLANE, 0), (P_PLANE, 0), (N_PLANE, 0), (P_PLANE, 0)],
         "xor": [(N_PLANE, 0), (P_PLANE, 0), (N_PLANE, 0), (P_PLANE, 0)],
@@ -347,7 +415,7 @@ class NetlistProgram:
         slots: list[tuple[int, int]] = []
         for run in plan.runs:
             gates = by_cls[run.cls]
-            arity_blocks = 6 if run.cls == "mux" else 4
+            arity_blocks = {"mux": 6, "copy": 2}.get(run.cls, 4)
             per_gate = [self._gate_eval_slots(i) for i in gates]
             pad = self._PAD_SLOTS[run.cls]
             offsets = []
@@ -374,7 +442,8 @@ class NetlistProgram:
                 return (A_PLANE, 0)
             inputs = self.netlist.gates[index].inputs
             net = inputs[min(input_pos, len(inputs) - 1)]
-            return (A_PLANE, self.pos_of[net])
+            root, _parity = self.chain_of.get(net, (net, 0))
+            return (A_PLANE, self.pos_of[root])
 
         plan.act0_word = len(slots) // 64
         slots.extend(act_slot(i, 0) for i in out_gates)

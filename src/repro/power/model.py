@@ -312,14 +312,46 @@ class PowerModel:
         from it, halving the energy-kernel work.  ``workers`` threads the
         chunk loop exactly like :meth:`trace_power`.
         """
-        n_rows = len(cur_rows)
+
+        def pairs(start: int, stop: int):
+            return prev_rows[start:stop], cur_rows[start:stop]
+
+        return self.pair_power(
+            pairs, len(cur_rows), mem_accesses, per_module, workers
+        )
+
+    def pair_power(
+        self,
+        pairs,
+        n_rows: int,
+        mem_accesses: np.ndarray | None = None,
+        per_module: bool = False,
+        workers: int = 1,
+    ) -> PowerTrace:
+        """Like :meth:`transition_power`, but *pulls* each chunk's
+        ``(prev, cur)`` row pairs from ``pairs(start, stop)`` instead of
+        receiving the full matrices up front.
+
+        This inverts the dataflow so a producer whose pairs are
+        *derived* (gathered, X-assigned) can do that work per chunk too:
+        the whole gather → assign → price pipeline then runs inside one
+        :attr:`TRACE_CHUNK_ROWS` working set instead of streaming
+        full-trace temporaries through memory — the blocked Algorithm 2
+        walk in :mod:`repro.core.peakpower` is the customer.  Chunks
+        cover disjoint row spans and each is priced by the same kernel
+        on the same rows whatever the chunk size, so results are
+        bit-identical to the eager path at any worker count (``pairs``
+        must therefore be pure per span, which a gather/assign of
+        disjoint target rows is).
+        """
         totals = np.zeros(n_rows)
         module_names = list(self.module_masks) if per_module else []
         module_fj = {name: np.zeros(n_rows) for name in module_names}
 
         def price(start: int, stop: int) -> None:
+            prev_chunk, cur_chunk = pairs(start, stop)
             chunk_totals, chunk_modules = self._transition_chunk(
-                prev_rows[start:stop], cur_rows[start:stop], module_names
+                prev_chunk, cur_chunk, module_names
             )
             totals[start:stop] = chunk_totals
             for name in module_names:

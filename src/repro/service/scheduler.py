@@ -102,6 +102,18 @@ def normalize_params(kind: str, params: dict) -> dict:
                 params.get("islands"), params.get("migration_interval")
             )
         )
+    if kind in ("analyze", "profile"):
+        from repro.sim.bitplane import ENGINES, default_engine
+
+        engine = params.get("engine")
+        if engine is None:
+            # resolve the server-side default so "omitted" and "explicit
+            # default" sign identically and dedupe onto one job
+            params["engine"] = default_engine()
+        elif engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
     return params
 
 
@@ -748,9 +760,14 @@ def run_analyze_job(params: dict, ctx: JobContext) -> dict:
     from repro.bench import runner
 
     name = _require_benchmark(params)
-    ctx.emit("resolve", f"x_based({name!r}), workers={ctx.workers}")
+    engine = params.get("engine")
+    ctx.emit(
+        "resolve",
+        f"x_based({name!r}), workers={ctx.workers}, engine={engine}",
+    )
     result = runner.x_based(
-        name, workers=ctx.workers, cancel=getattr(ctx, "cancel", None)
+        name, workers=ctx.workers, cancel=getattr(ctx, "cancel", None),
+        engine=engine,
     )
     return _analysis_payload(result)
 
@@ -761,8 +778,11 @@ def run_profile_job(params: dict, ctx: JobContext) -> dict:
     from repro.core.baselines import GUARDBAND
 
     name = _require_benchmark(params)
-    ctx.emit("resolve", f"profiling({name!r})")
-    profile = runner.profiling(name, cancel=getattr(ctx, "cancel", None))
+    engine = params.get("engine")
+    ctx.emit("resolve", f"profiling({name!r}), engine={engine}")
+    profile = runner.profiling(
+        name, cancel=getattr(ctx, "cancel", None), engine=engine
+    )
     return {
         "kind": "profiling",
         "benchmark": name,

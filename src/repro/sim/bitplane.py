@@ -41,9 +41,11 @@ from repro.netlist.program import A_PLANE, N_PLANE, P_PLANE, NetlistProgram
 
 _ONE = np.uint64(1)
 
-#: the two simulation engines; ``bitplane`` is the default, ``reference``
-#: is the original uint8 LevelizedEvaluator retained as the oracle
-ENGINES = ("bitplane", "reference")
+#: the simulation engines; ``bitplane`` is the default, ``native`` is the
+#: generated-C settle kernel (falls back to bitplane without a C
+#: compiler), ``reference`` the original uint8 LevelizedEvaluator
+#: retained as the oracle
+ENGINES = ("bitplane", "native", "reference")
 
 #: engine used when nothing is specified; override with ``REPRO_ENGINE``
 DEFAULT_ENGINE = "bitplane"
@@ -70,6 +72,10 @@ def make_evaluator(netlist: Netlist, engine: str | None = None):
         return LevelizedEvaluator(netlist)
     if engine == "bitplane":
         return BitplaneEvaluator(netlist)
+    if engine == "native":
+        from repro.sim.native import evaluator_or_fallback
+
+        return evaluator_or_fallback(netlist)
     raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
 
 
@@ -147,7 +153,12 @@ class _LeadBuffers:
                 rn = self.res[..., 1, run.res_word : run.res_word + run.words]
                 tr1 = t1[..., : run.words]
                 tr2 = t2[..., : run.words]
-                if run.cls == "and":
+                if run.cls == "copy":
+                    # BUF/NOT: the gather already selected the source
+                    # rails (inversion folded in); OR-with-self moves them
+                    tape.append((bor, ops[0], ops[0], rp))
+                    tape.append((bor, ops[1], ops[1], rn))
+                elif run.cls == "and":
                     tape.append((band, ops[0], ops[2], rp))
                     tape.append((bor, ops[1], ops[3], rn))
                 elif run.cls == "and_swap":
