@@ -8,6 +8,8 @@ Usage::
     python -m repro suite    [--benchmarks mult,tea8,...] [--jobs N]
                              [--no-cache] [--islands N]
     python -m repro bench    [--benchmarks ...] [--output BENCH_suite.json]
+    python -m repro conformance [--benchmarks ...] [--fuzz N] [--seed S]
+                             [--engine E]
     python -m repro serve    [--host H] [--port P] [--max-jobs N]
     python -m repro submit   BENCHMARK [--url URL] [--kind analyze|...]
     python -m repro cache    stats | gc --max-mb N
@@ -18,7 +20,10 @@ measures concrete input sets and applies the 4/3 guardband; ``coi`` shows
 the cycles of interest with culprit instructions; ``suite`` runs the
 Table 4.1 benchmarks end to end (process-parallel, store-cached);
 ``bench`` times the scalar vs batched engines and writes a perf-trajectory
-JSON artifact.
+JSON artifact; ``conformance`` co-executes benchmarks and/or seeded fuzz
+programs lock-step on the behavioral ISS and the gate-level engines,
+exits 1 with a written reproducer on any architectural divergence (infra
+errors exit 2).
 
 The service verbs turn sizing questions into repeatable queries:
 ``serve`` runs the HTTP analysis service (async job scheduler +
@@ -228,6 +233,64 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.verify import CoexecError, run_conformance
+
+    names = _resolve_benchmarks(args.benchmarks)  # None = all benchmarks
+    if args.fuzz < 0:
+        raise CliError("--fuzz must be >= 0")
+    engines = (args.engine,) if args.engine else None
+
+    def emit(stage: str, detail: str) -> None:
+        print(f"[{stage}] {detail}")
+
+    try:
+        report = run_conformance(
+            benchmarks=names,
+            fuzz_instructions=args.fuzz,
+            seed=args.seed,
+            engines=engines,
+            program_size=args.program_size,
+            emit=emit if not args.quiet else None,
+        )
+    except CoexecError as err:
+        raise CliError(f"conformance infrastructure failure: {err}")
+    clean = sum(1 for r in report.benchmarks if r.ok)
+    if report.benchmarks:
+        print(
+            f"benchmarks: {clean}/{len(report.benchmarks)} "
+            f"program-engine runs lock-step clean"
+        )
+    if report.fuzz_units:
+        print(
+            f"fuzz: {report.fuzz_units} instruction units over "
+            f"{report.fuzz_programs} programs "
+            f"(seed {report.fuzz_seed}, engines {report.engines})"
+        )
+    if report.ok:
+        print("conformance OK: no architectural divergence")
+        return 0
+    out_dir = Path(args.output or ".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for divergence in report.divergences:
+        print()
+        print(divergence.describe())
+        stem = f"divergence_{divergence.program_name}_{divergence.engine}"
+        if divergence.reproducer_asm is not None:
+            path = out_dir / f"{stem}.asm"
+            path.write_text(divergence.reproducer_asm)
+        else:
+            path = out_dir / f"{stem}.txt"
+            path.write_text(divergence.describe() + "\n")
+        print(f"reproducer written to {path}")
+        if divergence.seed is not None:
+            print(
+                f"replay: repro conformance --fuzz {args.fuzz or 2000} "
+                f"--seed {report.fuzz_seed} --engine {divergence.engine}"
+            )
+    return 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.bench import runner
     from repro.service.server import serve
@@ -261,6 +324,19 @@ def cmd_submit(args: argparse.Namespace) -> int:
     params = {}
     if args.kind in ("analyze", "profile"):
         params["benchmark"] = args.benchmark
+        if args.engine is not None:
+            params["engine"] = args.engine
+    elif args.kind == "conformance":
+        # positional: "all" = the whole registry, "none" = fuzz only,
+        # otherwise a comma-separated subset (validated before the wire)
+        if args.benchmark == "all":
+            params["benchmarks"] = None
+        elif args.benchmark == "none":
+            params["benchmarks"] = []
+        else:
+            params["benchmarks"] = _resolve_benchmarks(args.benchmark)
+        params["fuzz"] = args.fuzz
+        params["seed"] = args.seed
         if args.engine is not None:
             params["engine"] = args.engine
     else:
@@ -317,6 +393,17 @@ def cmd_submit(args: argparse.Namespace) -> int:
             f"{result['guardbanded_peak_power_mw']:.3f} mW "
             f"[{payload['job_id']}{dedup}]"
         )
+    elif result.get("kind") == "conformance":
+        n_div = len(result.get("divergences", []))
+        status = "OK" if result.get("ok") else f"{n_div} DIVERGENCE(S)"
+        print(
+            f"conformance: {status}, "
+            f"{len(result.get('benchmarks', []))} benchmark runs, "
+            f"{result.get('fuzz_units', 0)} fuzz units "
+            f"[{payload['job_id']}{dedup}]"
+        )
+        for entry in result.get("divergence_artifacts", []):
+            print(f"  reproducer artifact: {entry}")
     elif result.get("kind") == "stressmark":
         print(
             f"stressmark({result['objective']}): peak "
@@ -449,6 +536,42 @@ def build_parser() -> argparse.ArgumentParser:
     add_island_knobs(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
+    p_conf = sub.add_parser(
+        "conformance",
+        help="lock-step co-execution oracle: ISS vs gate-level engines",
+    )
+    p_conf.add_argument(
+        "--benchmarks", default=None,
+        help="comma-separated registry subset to co-execute (default: "
+             "all 14 when --fuzz is 0, none otherwise)",
+    )
+    p_conf.add_argument(
+        "--fuzz", type=int, default=0, metavar="N",
+        help="co-execute seeded random programs totalling N instruction "
+             "units per engine (0 = benchmark leg only)",
+    )
+    p_conf.add_argument(
+        "--seed", type=int, default=2017,
+        help="fuzz campaign seed; a divergence report names the exact "
+             "per-program seed to replay (default 2017)",
+    )
+    p_conf.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="restrict to one engine (default: all of "
+             f"{', '.join(ENGINES)})",
+    )
+    p_conf.add_argument(
+        "--program-size", type=int, default=40, metavar="K",
+        help="instructions per generated fuzz program (default 40)",
+    )
+    p_conf.add_argument(
+        "--output", default=None, metavar="DIR",
+        help="directory for divergence reproducers (default: cwd)",
+    )
+    p_conf.add_argument("--quiet", action="store_true",
+                        help="suppress per-run progress lines")
+    p_conf.set_defaults(func=cmd_conformance)
+
     from repro.service.server import DEFAULT_PORT
 
     p_serve = sub.add_parser(
@@ -498,12 +621,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_submit.add_argument(
         "benchmark",
-        help="benchmark name (kinds analyze/profile) or GA objective "
-             "peak|average (kind stressmark)",
+        help="benchmark name (kinds analyze/profile), GA objective "
+             "peak|average (kind stressmark), or a comma-separated "
+             "subset / 'all' / 'none' (kind conformance)",
     )
     p_submit.add_argument("--url", default=f"http://127.0.0.1:{DEFAULT_PORT}")
     p_submit.add_argument("--kind", default="analyze",
-                          choices=("analyze", "profile", "stressmark"))
+                          choices=("analyze", "profile", "stressmark",
+                                   "conformance"))
+    p_submit.add_argument("--fuzz", type=int, default=0, metavar="N",
+                          help="kind conformance: fuzz N instruction "
+                               "units per engine")
+    p_submit.add_argument("--seed", type=int, default=2017,
+                          help="kind conformance: fuzz campaign seed")
     p_submit.add_argument("--priority", type=int, default=0,
                           help="higher runs first (default 0)")
     p_submit.add_argument("--no-wait", action="store_true",

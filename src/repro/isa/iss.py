@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.asm.program import Program
 from repro.isa.spec import (
+    CG2,
     MODE_INDEXED,
     MODE_INDIRECT,
     MODE_REGISTER,
@@ -86,6 +87,11 @@ class InstructionSetSimulator:
         self.halted = False
         #: (pc, disassembly-relevant word) executed, for traceability
         self.executed_pcs: list[int] = []
+        #: when set to a list, every data-memory write (address >=
+        #: PERIPHERAL_END) is appended as ``(byte_address, value)`` — the
+        #: co-execution harness diffs this against the gate-level write
+        #: stream per retired instruction
+        self.write_log: list[tuple[int, int]] | None = None
 
     # ------------------------------------------------------------------
     # Memory and peripherals
@@ -106,6 +112,8 @@ class InstructionSetSimulator:
         if address < PERIPHERAL_END:
             self._peripheral_write(address, value)
             return
+        if self.write_log is not None:
+            self.write_log.append((address, value))
         self.state.memory[address] = value
 
     def _peripheral_read(self, address: int) -> int:
@@ -180,6 +188,15 @@ class InstructionSetSimulator:
             instr = decode(word)
         except ValueError as exc:
             raise IssError(f"at {fetch_pc:#06x}: {exc}") from None
+        if instr.byte:
+            # Byte-mode (.b) is outside this subset: the assembler rejects
+            # it and the gate-level datapath ignores the B/W bit entirely,
+            # so silently executing bw=1 words as word ops would diverge
+            # from real MSP430 semantics.  Make the boundary explicit.
+            raise IssError(
+                f"at {fetch_pc:#06x}: byte-mode (.b) instructions are not "
+                f"supported in this subset (word {word:#06x})"
+            )
         self.instructions += 1
         self.cycles += 2  # fetch + dispatch
 
@@ -240,6 +257,11 @@ class InstructionSetSimulator:
             return
         result, flags = self._shift_result(mnemonic, value)
         self._writeback_format_ii(instr, address, result)
+        if instr.as_mode == MODE_REGISTER and instr.src == SR:
+            # dst = SR in register mode: the register write wins over the
+            # flag update (the gate muxes reg_write_data past the flagged
+            # bits), so the shifted value lands in SR verbatim
+            return
         state.set_flags(**flags)
 
     def _shift_result(self, mnemonic: str, value: int) -> tuple[int, dict]:
@@ -268,7 +290,8 @@ class InstructionSetSimulator:
         self, instr: DecodedInstruction, address: int | None, result: int
     ) -> None:
         if instr.as_mode == MODE_REGISTER:
-            self.state.regs[instr.src] = result & MASK16
+            if instr.src != CG2:  # r3 has no storage; writes are dropped
+                self.state.regs[instr.src] = result & MASK16
         elif address is not None:
             self.write_word(address, result)
             self.cycles += 1
@@ -298,9 +321,15 @@ class InstructionSetSimulator:
         writes_back = instr.mnemonic not in ("cmp", "bit")
         if writes_back:
             if dst_addr is None:
-                state.regs[instr.dst] = result & MASK16
+                if instr.dst != CG2:  # r3 has no storage; writes dropped
+                    state.regs[instr.dst] = result & MASK16
             else:
                 self.write_word(dst_addr, result)
+        if writes_back and dst_addr is None and instr.dst == SR:
+            # dst = SR in register mode: the register write wins over the
+            # flag update (matches the gate's write_sr_port mux), so e.g.
+            # `add r4, sr` leaves SR = the raw sum, not ALU flags
+            return
         state.set_flags(**flags)
 
     def _alu(self, mnemonic: str, src: int, dst: int) -> tuple[int, dict]:

@@ -114,6 +114,41 @@ def normalize_params(kind: str, params: dict) -> dict:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}"
             )
+    if kind == "conformance":
+        from repro.sim.bitplane import ENGINES
+
+        engine = params.get("engine")
+        if engine is not None and engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        params["engine"] = engine  # None signs as "all engines"
+        benchmarks = params.get("benchmarks")
+        if benchmarks is not None:
+            if isinstance(benchmarks, str):
+                benchmarks = [
+                    name.strip() for name in benchmarks.split(",")
+                    if name.strip()
+                ]
+            from repro.bench.suite import ALL_BENCHMARKS
+
+            unknown = [n for n in benchmarks if n not in ALL_BENCHMARKS]
+            if unknown:
+                valid = ", ".join(sorted(ALL_BENCHMARKS))
+                raise KeyError(
+                    f"unknown benchmark"
+                    f"{'s' if len(unknown) > 1 else ''} "
+                    f"{', '.join(map(repr, unknown))}; "
+                    f"valid names: {valid}"
+                )
+            params["benchmarks"] = list(benchmarks)
+        else:
+            params["benchmarks"] = None
+        fuzz = params.get("fuzz", 0) or 0
+        if not isinstance(fuzz, int) or fuzz < 0:
+            raise ValueError("fuzz must be an integer >= 0")
+        params["fuzz"] = fuzz
+        params["seed"] = int(params.get("seed", 2017))
     return params
 
 
@@ -815,9 +850,55 @@ def run_stressmark_job(params: dict, ctx: JobContext) -> dict:
     }
 
 
+def run_conformance_job(params: dict, ctx: JobContext) -> dict:
+    """Lock-step ISS-vs-gate conformance: benchmark suite and/or fuzz
+    campaign.  Divergence reproducers land in the artifact store so a
+    failed fuzz job leaves a durable, replayable seed behind."""
+    from repro.bench import runner
+    from repro.verify import run_conformance
+
+    benchmarks = params.get("benchmarks")
+    fuzz = params.get("fuzz", 0)
+    seed = params.get("seed", 2017)
+    engine = params.get("engine")
+    engines = (engine,) if engine else None
+    ctx.emit(
+        "resolve",
+        f"conformance(benchmarks={benchmarks}, fuzz={fuzz}, "
+        f"seed={seed}, engines={engines or 'all'})",
+    )
+    report = run_conformance(
+        benchmarks=benchmarks,
+        fuzz_instructions=fuzz,
+        seed=seed,
+        engines=engines,
+        emit=ctx.emit,
+        cancel=getattr(ctx, "cancel", None),
+    )
+    payload = report.payload()
+    if report.divergences:
+        store = runner.artifact_store()
+        keys = []
+        for divergence in report.divergences:
+            key = (
+                f"divergence_{divergence.program_name}"
+                f"_{divergence.engine}"
+                + (
+                    f"_seed{divergence.seed}"
+                    if divergence.seed is not None else ""
+                )
+            )
+            store.put(key, divergence.payload())
+            keys.append(key)
+        payload["divergence_artifacts"] = keys
+        ctx.emit("divergence", f"stored reproducers: {', '.join(keys)}")
+    return payload
+
+
 def default_executors() -> dict[str, Executor]:
     return {
         "analyze": run_analyze_job,
         "profile": run_profile_job,
         "stressmark": run_stressmark_job,
+        "conformance": run_conformance_job,
     }

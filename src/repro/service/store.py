@@ -39,9 +39,15 @@ import pickle
 import re
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX host: publishes fall back to unserialized
+    fcntl = None
 
 from repro.service import faults
 
@@ -221,10 +227,17 @@ class ArtifactStore:
             raise KeyError(key) from None
         self.counters.hits_disk += 1
         if meta is not None:
-            meta["accessed"] = time.time()
-            meta["hits"] = int(meta.get("hits", 0)) + 1
             try:
-                self._write_meta(path, meta)
+                # re-read under the publish lock and merge into the
+                # CURRENT sidecar: writing back the meta snapshot from
+                # before the reads would revert a concurrent publisher's
+                # digest and poison the entry for every later read
+                with self._publish_lock(path):
+                    current = self._read_meta(path)
+                    if current is not None:
+                        current["accessed"] = time.time()
+                        current["hits"] = int(current.get("hits", 0)) + 1
+                        self._write_meta(path, current)
             except OSError:
                 # recency/hit bookkeeping is best-effort: a read-only or
                 # full store must still serve warm reads
@@ -242,20 +255,25 @@ class ArtifactStore:
         data = pickle.dumps(value)
         digest = content_digest(data)
         path = self.path_for(key)
-        self._atomic_write(path, data)
-        now = time.time()
-        self._write_meta(
-            path,
-            {
-                "key": key,
-                "fingerprint": self.fingerprint(),
-                "digest": digest,
-                "size": len(data),
-                "created": now,
-                "accessed": now,
-                "hits": 0,
-            },
-        )
+        # the artifact and its sidecar are two separate atomic replaces;
+        # without serialization two writers can interleave them
+        # (A.data, B.data, B.meta, A.meta) and leave a mismatched pair
+        # at rest that every digest-verified read rejects
+        with self._publish_lock(path):
+            self._atomic_write(path, data)
+            now = time.time()
+            self._write_meta(
+                path,
+                {
+                    "key": key,
+                    "fingerprint": self.fingerprint(),
+                    "digest": digest,
+                    "size": len(data),
+                    "created": now,
+                    "accessed": now,
+                    "hits": 0,
+                },
+            )
         self.counters.writes += 1
         return digest
 
@@ -395,7 +413,8 @@ class ArtifactStore:
         return entry.fingerprint is None or entry.fingerprint != current
 
     def _remove(self, entry: Entry, report: GcReport) -> None:
-        for path in (entry.path, self._meta_path(entry.path)):
+        lock = entry.path.with_name(entry.path.name + ".lock")
+        for path in (entry.path, self._meta_path(entry.path), lock):
             try:
                 path.unlink()
             except OSError:
@@ -422,6 +441,31 @@ class ArtifactStore:
         self._atomic_write(
             self._meta_path(path), json.dumps(meta, sort_keys=True).encode()
         )
+
+    @contextmanager
+    def _publish_lock(self, path: Path):
+        """Serialize data+sidecar publishes (and sidecar bookkeeping)
+        for one artifact across processes via an advisory flock.
+
+        Each file replace stays individually atomic; the lock only keeps
+        the *pair* consistent at rest.  Reads never take it.  On hosts
+        without ``fcntl`` or stores where the lock file cannot be
+        created, degrade to the unserialized behavior.
+        """
+        if fcntl is None:
+            yield
+            return
+        lock_path = path.with_name(path.name + ".lock")
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        except OSError:
+            yield
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)
 
     def _atomic_write(self, path: Path, data: bytes) -> None:
         # pid + thread id: service jobs are threads of one process, and

@@ -1,0 +1,390 @@
+"""Seeded random instruction-stream fuzzing for the co-execution oracle.
+
+:func:`generate_program` builds a valid, terminating MSP430-subset
+program from a seed: straight-line ALU work over registers and an
+initialized data buffer (register/indexed/indirect/autoincrement/absolute
+addressing), Format II shifts, stack pushes with matched pops, SR-targeted
+writes (the "register write wins over flags" corner), multiplier and GPIO
+peripheral traffic, and forward conditional jumps whose skip regions are
+stack-neutral — so every generated program halts and never reads
+uninitialized memory (which is X on the gate side but 0 in the ISS).
+
+:func:`fuzz_campaign` co-executes a stream of such programs across the
+requested engines and, on the first divergence, shrinks the failing
+program to a minimal reproducer via :mod:`repro.verify.shrink`.
+
+Byte-mode (``.b``) instructions are deliberately absent: they are outside
+the reproduced subset — the assembler rejects them and the ISS raises on
+a bw=1 word (pinned in ``tests/test_isa_edges.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.asm import assemble
+from repro.asm.program import Program
+from repro.isa.memmap import P1IN, P1OUT, MPY, OP2, RESHI, RESLO
+
+#: data buffer backing every memory operand: 512 initialized words
+BUF_ADDR = 0x0300
+BUF_WORDS = 512
+#: pointer registers and the byte offset of the buffer segment each owns
+POINTER_SEGMENTS = {10: 0, 11: 256, 12: 512, 13: 768}
+#: per-pointer autoincrement budget: 32 * 2 bytes + max index 30 stays
+#: inside the owning 256-byte segment
+MAX_AUTOINC = 32
+DATA_REGS = (4, 5, 6, 7, 8, 9, 14, 15)
+
+ALU_OPS = (
+    "mov", "add", "addc", "sub", "subc", "cmp",
+    "and", "bit", "bis", "bic", "xor",
+)
+SHIFT_OPS = ("rra", "rrc", "swpb", "sxt")
+JUMPS = ("jmp", "jz", "jnz", "jc", "jnc", "jn", "jge", "jl")
+#: values that sit on carry/overflow/sign boundaries (plus the constant
+#: generators 0/1/2/4/8/-1, which the assembler encodes register-free)
+EDGE_IMMEDIATES = (
+    0, 1, 2, 4, 8, 0xFFFF, 0x7FFF, 0x8000, 0x00FF, 0xFF00,
+    0xAAAA, 0x5555, 0xFFFE, 0x0100,
+)
+
+
+@dataclass
+class FuzzUnit:
+    """One generated instruction (or atomic multi-line idiom)."""
+
+    orig: int  # stable identity; render labels are u{orig}
+    lines: tuple[str, ...]  # "{target}" marks the jump label slot
+    target: int | None = None  # orig index a jump aims at
+    stack_delta: int = 0
+    partner: int | None = None  # orig of the matching push/pop
+    #: simpler same-shape variants the shrinker may substitute
+    alts: tuple[tuple[str, ...], ...] = ()
+
+
+@dataclass
+class FuzzProgram:
+    """A generated program: renderable in full or as any kept subset."""
+
+    seed: int
+    units: list[FuzzUnit]
+    prologue: tuple[str, ...]
+    data_words: tuple[int, ...]
+    port_in: int = 0
+    name: str = "fuzz"
+
+    def render(self, keep: list[FuzzUnit] | None = None) -> str:
+        units = self.units if keep is None else keep
+        kept_origs = [unit.orig for unit in units]
+        lines = list(self.prologue)
+        for unit in units:
+            lines.append(f"u{unit.orig}:")
+            for text in unit.lines:
+                if "{target}" in text:
+                    text = text.format(target=self._label(
+                        unit.target, kept_origs
+                    ))
+                lines.append(f"    {text}")
+        lines.append("end:")
+        lines.append("    jmp end")
+        lines.append("")
+        lines.append(f"    .org {BUF_ADDR:#06x}")
+        lines.append("buf:")
+        for start in range(0, len(self.data_words), 8):
+            chunk = self.data_words[start:start + 8]
+            lines.append(
+                "    .word " + ", ".join(f"{w:#06x}" for w in chunk)
+            )
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _label(target: int | None, kept_origs: list[int]) -> str:
+        for orig in kept_origs:
+            if target is not None and orig >= target:
+                return f"u{orig}"
+        return "end"
+
+    def assemble(
+        self, keep: list[FuzzUnit] | None = None, name: str | None = None
+    ) -> Program:
+        return assemble(self.render(keep), name or self.name)
+
+
+def generate_program(
+    seed: int, size: int = 40, name: str | None = None
+) -> FuzzProgram:
+    """A valid, halting program of *size* instruction units from *seed*."""
+    rng = random.Random(seed)
+    units: list[FuzzUnit] = []
+    open_pushes: list[int] = []  # orig indices of unmatched pushes
+    autoincs = {reg: 0 for reg in POINTER_SEGMENTS}
+    no_stack_until = 0  # units below this orig sit in a jump skip region
+
+    def imm(rng) -> int:
+        if rng.random() < 0.7:
+            return rng.choice(EDGE_IMMEDIATES)
+        return rng.getrandbits(16)
+
+    def data_reg() -> str:
+        return f"r{rng.choice(DATA_REGS)}"
+
+    def pointer() -> int:
+        return rng.choice(tuple(POINTER_SEGMENTS))
+
+    def abs_addr() -> str:
+        return f"&{BUF_ADDR + 2 * rng.randrange(BUF_WORDS):#06x}"
+
+    def mem_operand(allow_autoinc: bool = True) -> str:
+        kinds = ["indexed", "indirect", "abs"]
+        if allow_autoinc:
+            kinds.append("autoinc")
+        kind = rng.choice(kinds)
+        if kind == "abs":
+            return abs_addr()
+        reg = pointer()
+        if kind == "indexed":
+            return f"{2 * rng.randrange(16)}(r{reg})"
+        if kind == "autoinc" and autoincs[reg] < MAX_AUTOINC:
+            autoincs[reg] += 1
+            return f"@r{reg}+"
+        return f"@r{reg}"
+
+    index = 0
+    while index < size:
+        orig = index
+        in_skip_region = orig < no_stack_until
+        roll = rng.random()
+        unit = None
+
+        if roll < 0.35:  # register/immediate ALU
+            op = rng.choice(ALU_OPS)
+            src = (
+                f"#{imm(rng):#06x}" if rng.random() < 0.5
+                else data_reg()
+            )
+            unit = FuzzUnit(
+                orig, (f"{op} {src}, {data_reg()}",),
+                alts=((f"mov #0x0000, {data_reg()}",),),
+            )
+        elif roll < 0.50:  # memory-source ALU
+            op = rng.choice(ALU_OPS)
+            src = mem_operand()
+            dst = data_reg()
+            unit = FuzzUnit(
+                orig, (f"{op} {src}, {dst}",),
+                alts=((f"{op} {data_reg()}, {dst}",),),
+            )
+        elif roll < 0.62:  # memory-destination ALU
+            op = rng.choice(ALU_OPS)
+            src = (
+                f"#{imm(rng):#06x}" if rng.random() < 0.5
+                else data_reg()
+            )
+            dst = (
+                abs_addr() if rng.random() < 0.5
+                else f"{2 * rng.randrange(16)}(r{pointer()})"
+            )
+            unit = FuzzUnit(
+                orig, (f"{op} {src}, {dst}",),
+                alts=((f"{op} {src}, {data_reg()}",),),
+            )
+        elif roll < 0.72:  # Format II shift/rotate/byte-swap/sign-extend
+            op = rng.choice(SHIFT_OPS)
+            operand = (
+                data_reg() if rng.random() < 0.6 else mem_operand()
+            )
+            unit = FuzzUnit(
+                orig, (f"{op} {operand}",),
+                alts=((f"{op} {data_reg()}",),),
+            )
+        elif roll < 0.80 and not in_skip_region:  # stack traffic
+            if open_pushes and rng.random() < 0.5:
+                partner = open_pushes.pop()
+                unit = FuzzUnit(
+                    orig, (f"pop {data_reg()}",),
+                    stack_delta=-1, partner=partner,
+                )
+                for pushed in units:
+                    if pushed.orig == partner:
+                        pushed.partner = orig
+            else:
+                src = (
+                    data_reg() if rng.random() < 0.6
+                    else f"#{imm(rng):#06x}"
+                )
+                unit = FuzzUnit(
+                    orig, (f"push {src}",), stack_delta=1
+                )
+                open_pushes.append(orig)
+        elif roll < 0.88:  # forward jump over a stack-neutral region
+            skip = rng.randrange(1, 4)
+            target = orig + 1 + skip
+            cond = rng.choice(JUMPS)
+            unit = FuzzUnit(
+                orig, (f"{cond} {{target}}",), target=target
+            )
+            no_stack_until = max(no_stack_until, target)
+        elif roll < 0.93:  # SR as destination: write wins over flags
+            choice = rng.randrange(5)
+            if choice == 0:
+                text = f"mov #{rng.getrandbits(4):#06x}, sr"
+            elif choice == 1:
+                text = f"bis #{1 << rng.choice((0, 1, 2, 8)):#06x}, sr"
+            elif choice == 2:
+                text = f"bic #{1 << rng.choice((0, 1, 2, 8)):#06x}, sr"
+            elif choice == 3:
+                text = "clrc" if rng.random() < 0.5 else "setc"
+            else:
+                text = "rra sr"  # shift result lands in SR verbatim
+            unit = FuzzUnit(orig, (text,), alts=(("clrc",),))
+        elif roll < 0.97:  # hardware multiplier round-trip
+            unit = FuzzUnit(
+                orig,
+                (
+                    f"mov {data_reg()}, &{MPY:#06x}",
+                    f"mov {data_reg()}, &{OP2:#06x}",
+                    f"mov &{RESLO:#06x}, {data_reg()}",
+                    f"mov &{RESHI:#06x}, {data_reg()}",
+                ),
+                alts=((f"mov #0x0000, {data_reg()}",),),
+            )
+        else:  # GPIO traffic
+            if rng.random() < 0.5:
+                unit = FuzzUnit(
+                    orig, (f"mov &{P1IN:#06x}, {data_reg()}",)
+                )
+            else:
+                unit = FuzzUnit(
+                    orig,
+                    (
+                        f"mov {data_reg()}, &{P1OUT:#06x}",
+                        f"mov &{P1OUT:#06x}, {data_reg()}",
+                    ),
+                )
+        if unit is None:  # stack op rolled inside a skip region: retry
+            continue
+        units.append(unit)
+        index += 1
+
+    prologue = [
+        "    .org 0xf000",
+        "start:",
+        "    mov #0x5a80, &0x0120    ; stop the watchdog",
+    ]
+    for reg, offset in POINTER_SEGMENTS.items():
+        prologue.append(f"    mov #buf+{offset}, r{reg}")
+    for reg in DATA_REGS:
+        prologue.append(f"    mov #{imm(rng):#06x}, r{reg}")
+
+    data_words = tuple(rng.getrandbits(16) for _ in range(BUF_WORDS))
+    return FuzzProgram(
+        seed=seed,
+        units=units,
+        prologue=tuple(prologue),
+        data_words=data_words,
+        port_in=rng.getrandbits(16),
+        name=name or f"fuzz_{seed}",
+    )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzz campaign across one or more engines."""
+
+    seed: int
+    engines: tuple[str, ...]
+    programs: int = 0
+    units: int = 0  # generated instruction units (the campaign budget)
+    divergences: list = field(default_factory=list)  # DivergenceReport
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def fuzz_campaign(
+    cpu,
+    instructions: int,
+    seed: int,
+    engines: tuple[str, ...] | None = None,
+    program_size: int = 40,
+    do_shrink: bool = True,
+    machine_factory=None,
+    max_shrink_checks: int = 150,
+    emit=None,
+    cancel=None,
+) -> FuzzReport:
+    """Generate and co-execute programs until *instructions* units have
+    been fuzzed on every engine, or a divergence is found (the campaign
+    stops at the first one, shrunk to a minimal reproducer).
+
+    *machine_factory* (``program -> Machine``) substitutes the gate-level
+    machine under test — the hook the broken-engine tests use to inject
+    mutations.  *cancel* is an optional
+    :class:`~repro.parallel.cancel.CancelToken` checked between runs.
+    """
+    from repro.sim.bitplane import ENGINES, default_engine
+    from repro.verify.coexec import DivergenceReport, coexecute
+    from repro.verify.shrink import shrink_program
+
+    engines = tuple(engines) if engines else (default_engine(),)
+    for engine in engines:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+    report = FuzzReport(seed=seed, engines=engines)
+
+    while report.units < instructions:
+        program_seed = seed + 0x9E3779B1 * report.programs
+        fuzz_program = generate_program(program_seed, size=program_size)
+        program = fuzz_program.assemble()
+        report.programs += 1
+        report.units += len(fuzz_program.units)
+        for engine in engines:
+            if cancel is not None:
+                cancel.check()
+            machine = (
+                machine_factory(program) if machine_factory else None
+            )
+            result = coexecute(
+                cpu, program, engine=engine,
+                port_in=fuzz_program.port_in, machine=machine,
+            )
+            if result.ok:
+                continue
+            if emit:
+                emit(
+                    "divergence",
+                    f"{program.name} on {engine}: "
+                    f"{result.divergence.detail}",
+                )
+            kept = fuzz_program.units
+            checks = 0
+            if do_shrink:
+                kept, checks, result = shrink_program(
+                    cpu, fuzz_program, engine,
+                    machine_factory=machine_factory,
+                    first_result=result,
+                    max_checks=max_shrink_checks,
+                )
+            report.divergences.append(DivergenceReport(
+                divergence=result.divergence,
+                engine=engine,
+                program_name=program.name,
+                seed=program_seed,
+                reproducer_asm=fuzz_program.render(kept),
+                original_units=len(fuzz_program.units),
+                shrunk_units=len(kept),
+                shrink_checks=checks,
+            ))
+            return report
+        if emit and report.programs % 5 == 0:
+            emit(
+                "fuzz",
+                f"{report.units}/{instructions} units clean "
+                f"({report.programs} programs, engines={engines})",
+            )
+    return report

@@ -1,0 +1,133 @@
+"""Reproducer shrinking for diverging fuzz programs.
+
+Three passes over the generated unit list, each bounded by a shared
+re-run budget and each preserving the generator's validity invariants
+(stack safety via push/pop partner closure, jump retargeting via the
+renderer's next-surviving-label rule):
+
+1. **Trim from the end** — binary search for the shortest prefix that
+   still diverges (a prefix is always valid: pops only ever follow their
+   pushes, and a push without its pop is harmless).
+2. **Single-unit removal** — drop one unit at a time (removing a push or
+   pop also removes its partner), iterated to a fixpoint.
+3. **Operand simplification** — substitute each unit's pre-computed
+   simpler variants (immediate → 0, memory operand → register, ...).
+
+Every candidate is re-assembled and re-co-executed on the diverging
+engine; a candidate is kept only if it still diverges, so the result is
+always a genuine reproducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.asm.assembler import AssemblyError
+from repro.verify.coexec import CoexecError, CoexecResult, coexecute
+from repro.verify.fuzz import FuzzProgram, FuzzUnit
+
+
+def shrink_program(
+    cpu,
+    fuzz_program: FuzzProgram,
+    engine: str,
+    machine_factory=None,
+    first_result: CoexecResult | None = None,
+    max_checks: int = 150,
+    max_instructions: int = 5_000,
+) -> tuple[list[FuzzUnit], int, CoexecResult]:
+    """Shrink *fuzz_program* to a minimal unit list that still diverges.
+
+    Returns ``(kept_units, checks_run, final_result)`` where
+    *final_result* is the co-execution of the shrunk program (its
+    divergence is the one worth reporting: same root cause, minimal
+    context).  Never returns a non-diverging program: if no candidate
+    reproduces, the original unit list and *first_result* come back.
+    """
+    checks = 0
+    last_result: dict[int, CoexecResult] = {}
+
+    def diverges(keep: list[FuzzUnit]) -> bool:
+        nonlocal checks
+        if checks >= max_checks:
+            return False
+        checks += 1
+        try:
+            program = fuzz_program.assemble(
+                keep, name=f"{fuzz_program.name}_shrink"
+            )
+            machine = (
+                machine_factory(program) if machine_factory else None
+            )
+            result = coexecute(
+                cpu, program, engine=engine,
+                port_in=fuzz_program.port_in, machine=machine,
+                max_instructions=max_instructions,
+            )
+        except (AssemblyError, CoexecError):
+            return False
+        if result.divergence is None:
+            return False
+        last_result[id(keep)] = result
+        return True
+
+    units = list(fuzz_program.units)
+
+    # pass 1: shortest diverging prefix
+    best = len(units)
+    low = 1
+    while low < best:
+        mid = (low + best) // 2
+        if diverges(units[:mid]):
+            best = mid
+        else:
+            low = mid + 1
+    keep = units[:best]
+
+    # pass 2: single-unit removal (with push/pop partner closure)
+    changed = True
+    while changed and checks < max_checks:
+        changed = False
+        for position in range(len(keep) - 1, -1, -1):
+            unit = keep[position]
+            drop = {unit.orig}
+            if unit.partner is not None:
+                drop.add(unit.partner)
+            candidate = [u for u in keep if u.orig not in drop]
+            if candidate and diverges(candidate):
+                keep = candidate
+                changed = True
+
+    # pass 3: operand simplification via the generator's alternatives
+    for position, unit in enumerate(keep):
+        for alt in unit.alts:
+            candidate = list(keep)
+            candidate[position] = replace(unit, lines=alt, alts=())
+            if diverges(candidate):
+                keep = candidate
+                break
+
+    # confirm the final reproducer (and get its divergence for the report)
+    final = list(keep)
+    if diverges(final):
+        return final, checks, last_result[id(final)]
+    # budget exhausted mid-pass or a flaky candidate: re-run whatever we
+    # know still diverged, falling back to the original program
+    checks += 1
+    try:
+        program = fuzz_program.assemble(keep)
+        machine = machine_factory(program) if machine_factory else None
+        result = coexecute(
+            cpu, program, engine=engine,
+            port_in=fuzz_program.port_in, machine=machine,
+            max_instructions=max_instructions,
+        )
+        if result.divergence is not None:
+            return keep, checks, result
+    except (AssemblyError, CoexecError):
+        pass
+    if first_result is None:
+        raise CoexecError(
+            "shrink lost the divergence and no original result was kept"
+        )
+    return list(fuzz_program.units), checks, first_result

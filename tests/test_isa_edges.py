@@ -1,0 +1,208 @@
+"""ISS edge cases pinned against hand-computed values.
+
+These are the corners a random instruction fuzzer trips over first:
+byte-mode words (outside the subset — must be rejected, not silently
+executed as word ops), ``@Rn+`` autoincrement when Rn is the PC
+(immediate fetch) or the SP (pop), overflow (V) on SUB/CMP, writes to
+the storage-less constant generator r3, and ALU results targeting SR
+(where the register write must win over the flag update, matching the
+gate-level write port).
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.asm.assembler import AssemblyError
+from repro.asm.program import Program
+from repro.isa.iss import InstructionSetSimulator, IssError
+from repro.isa.memmap import RESET_SP
+from repro.isa.spec import (
+    PC,
+    SP,
+    SR,
+    SR_C,
+    SR_N,
+    SR_V,
+    SR_Z,
+    encode_format_i,
+    encode_format_ii,
+)
+
+ORG = 0xF000
+
+
+def run_iss(body: str) -> InstructionSetSimulator:
+    source = f"    .org 0xf000\nstart:\n{body}\nend:\n    jmp end\n"
+    program = assemble(source, "edge")
+    iss = InstructionSetSimulator(program)
+    iss.run(max_instructions=1000)
+    return iss
+
+
+def flags(iss) -> tuple[int, int, int, int]:
+    state = iss.state
+    return (
+        state.flag(SR_C), state.flag(SR_Z),
+        state.flag(SR_N), state.flag(SR_V),
+    )
+
+
+# ----------------------------------------------------------------------
+# Byte-mode words: explicitly outside the subset
+# ----------------------------------------------------------------------
+class TestByteModeRejection:
+    def test_assembler_rejects_dot_b(self):
+        with pytest.raises(AssemblyError, match=r"byte-mode"):
+            assemble(
+                "    .org 0xf000\n    mov.b r4, r5\nend:\n    jmp end\n",
+                "byte",
+            )
+
+    def test_iss_rejects_bw_format_i(self):
+        # mov r4, r5 with the B/W bit set (no assembler can emit this)
+        word = encode_format_i(0x4, 4, 5, 0, 0, byte=True)
+        program = Program(words={ORG: word}, entry=ORG, name="bw1")
+        iss = InstructionSetSimulator(program)
+        with pytest.raises(IssError, match=r"byte-mode"):
+            iss.step()
+
+    def test_iss_rejects_bw_format_ii(self):
+        # rra.b r4 equivalent encoding
+        word = encode_format_ii(0b010, 4, 0, byte=True)
+        program = Program(words={ORG: word}, entry=ORG, name="bw2")
+        iss = InstructionSetSimulator(program)
+        with pytest.raises(IssError, match=r"byte-mode"):
+            iss.step()
+
+
+# ----------------------------------------------------------------------
+# @Rn+ autoincrement on the PC (immediates) and the SP (pop)
+# ----------------------------------------------------------------------
+class TestAutoincrement:
+    def test_immediate_is_pc_autoincrement(self):
+        # `mov #imm, rN` is @pc+: one extension word, PC advances by 4
+        program = assemble(
+            "    .org 0xf000\nstart:\n    mov #0x1234, r4\n"
+            "end:\n    jmp end\n",
+            "imm",
+        )
+        iss = InstructionSetSimulator(program)
+        iss.step()
+        assert iss.state.regs[4] == 0x1234
+        assert iss.state.regs[PC] == ORG + 4  # opcode + extension word
+
+    def test_indirect_autoincrement_steps_pointer_by_two(self):
+        program = assemble(
+            "    .org 0xf000\n"
+            "start:\n"
+            "    mov #buf, r10\n"
+            "    add @r10+, r4\n"
+            "    add @r10+, r4\n"
+            "end:\n"
+            "    jmp end\n"
+            "\n"
+            "    .org 0x0300\n"
+            "buf:\n"
+            "    .word 0x0005, 0x0007\n",
+            "autoinc",
+        )
+        iss = InstructionSetSimulator(program)
+        iss.run(max_instructions=100)
+        assert iss.state.regs[10] == 0x0300 + 4
+        assert iss.state.regs[4] == 12
+
+    def test_pop_is_sp_autoincrement(self):
+        iss = run_iss(
+            "    mov #0xbeef, r4\n"
+            "    push r4\n"
+            "    mov #0x0000, r4\n"
+            "    pop r5\n"
+        )
+        assert iss.state.regs[5] == 0xBEEF
+        assert iss.state.regs[SP] == RESET_SP  # push -2, pop +2
+
+
+# ----------------------------------------------------------------------
+# Overflow (V) on SUB/CMP, hand-computed
+# ----------------------------------------------------------------------
+class TestSubCmpOverflow:
+    def test_sub_one_from_int_min_overflows(self):
+        # 0x8000 - 1 = 0x7FFF: negative minus positive gives positive
+        iss = run_iss("    mov #0x8000, r4\n    sub #1, r4\n")
+        assert iss.state.regs[4] == 0x7FFF
+        assert flags(iss) == (1, 0, 0, 1)  # C=1 (no borrow), V=1
+
+    def test_cmp_int_max_against_int_min_overflows(self):
+        # cmp #0x8000, r5 with r5=0x7FFF: 0x7FFF - (-0x8000) wraps
+        iss = run_iss("    mov #0x7fff, r5\n    cmp #0x8000, r5\n")
+        assert iss.state.regs[5] == 0x7FFF  # cmp never writes back
+        assert flags(iss) == (0, 0, 1, 1)  # borrow, negative, overflow
+
+    def test_sub_without_overflow(self):
+        # 5 - 3 = 2: plain positive arithmetic, no V, no borrow
+        iss = run_iss("    mov #5, r4\n    sub #3, r4\n")
+        assert iss.state.regs[4] == 2
+        assert flags(iss) == (1, 0, 0, 0)
+
+    def test_cmp_equal_sets_zero_and_carry(self):
+        iss = run_iss("    mov #0x0042, r4\n    cmp #0x0042, r4\n")
+        assert flags(iss) == (1, 1, 0, 0)
+
+
+# ----------------------------------------------------------------------
+# r3: the storage-less constant generator
+# ----------------------------------------------------------------------
+class TestConstantGeneratorWrites:
+    def test_alu_write_to_r3_is_dropped(self):
+        # the gate register file has no bank for r3 (reads hit the zero
+        # bus); the ISS must drop the write but still set the flags
+        iss = run_iss("    mov #5, r3\n    mov r3, r4\n")
+        assert iss.state.regs[3] == 0
+        assert iss.state.regs[4] == 0
+
+    def test_add_to_r3_still_sets_flags(self):
+        iss = run_iss("    add #0x8000, r3\n")
+        assert iss.state.regs[3] == 0
+        # 0 + 0x8000 = 0x8000: negative, no carry, no overflow
+        assert flags(iss) == (0, 0, 1, 0)
+
+    def test_format_ii_write_to_r3_is_dropped(self):
+        # rra r3 shifts the generated constant 0; result discarded
+        iss = run_iss("    rra r3\n")
+        assert iss.state.regs[3] == 0
+        assert flags(iss) == (0, 1, 0, 0)  # result 0: Z=1
+
+
+# ----------------------------------------------------------------------
+# SR as destination: the register write wins over the flag update
+# ----------------------------------------------------------------------
+class TestStatusRegisterDestination:
+    def test_add_to_sr_stores_raw_sum(self):
+        # add #6, sr with SR=1 (carry set): SR becomes 7, NOT the ALU
+        # flags of the addition — the gate's SR write port wins
+        iss = run_iss("    setc\n    add #6, sr\n")
+        assert iss.state.regs[SR] == 7
+
+    def test_cmp_against_sr_sets_flags(self):
+        # cmp does not write back, so the flag update goes through
+        iss = run_iss("    mov #3, sr\n    cmp #3, sr\n")
+        assert iss.state.flag(SR_Z) == 1
+        assert iss.state.flag(SR_C) == 1
+
+    def test_rra_sr_stores_shift_result_verbatim(self):
+        # SR=4 (Z set); rra sr halves it to 2 — the shift flags
+        # (which would clear Z and set nothing) must NOT apply
+        iss = run_iss("    mov #4, sr\n    rra sr\n")
+        assert iss.state.regs[SR] == 2
+
+    def test_mov_to_sr_steers_conditional_jump(self):
+        # mov #1, sr sets C; jc must take
+        iss = run_iss(
+            "    mov #1, sr\n"
+            "    jc taken\n"
+            "    mov #0xdead, r4\n"
+            "taken:\n"
+            "    mov #0x0001, r5\n"
+        )
+        assert iss.state.regs[4] == 0
+        assert iss.state.regs[5] == 1
