@@ -60,11 +60,20 @@ _REGISTER_ALIASES = {"pc": 0, "sp": 1, "sr": 2, "cg2": 3}
 
 
 class AssemblyError(Exception):
-    """Source error, reported with the offending line number and text."""
+    """Source error, reported with the offending line number and text.
+
+    The location is folded into ``str(err)`` for humans, and kept as
+    structured attributes (``reason``/``line_no``/``line``) so the
+    upload gateway can answer with a machine-readable 422 instead of
+    re-parsing its own error message.
+    """
 
     def __init__(self, message: str, line_no: int | None = None, line: str = ""):
         location = f" (line {line_no}: {line.strip()!r})" if line_no else ""
         super().__init__(message + location)
+        self.reason = message
+        self.line_no = line_no
+        self.line = line.strip()
 
 
 @dataclass

@@ -11,7 +11,10 @@ Usage::
     python -m repro conformance [--benchmarks ...] [--fuzz N] [--seed S]
                              [--engine E]
     python -m repro serve    [--host H] [--port P] [--max-jobs N]
+                             [--keyring FILE]
     python -m repro submit   BENCHMARK [--url URL] [--kind analyze|...]
+    python -m repro upload   prog.asm [--url URL] [--api-key KEY]
+    python -m repro keys     add|list|revoke [--keyring FILE] ...
     python -m repro cache    stats | gc --max-mb N
 
 ``analyze`` prints the guaranteed input-independent peak power and energy
@@ -28,9 +31,13 @@ errors exit 2).
 The service verbs turn sizing questions into repeatable queries:
 ``serve`` runs the HTTP analysis service (async job scheduler +
 content-addressed artifact store, see :mod:`repro.service`); ``submit``
-sends one job to a running server and prints the bound; ``cache``
-inspects (``stats``) or trims (``gc --max-mb N``) the artifact store,
-including seed-era legacy pickles.
+sends one job to a running server and prints the bound; ``upload``
+posts arbitrary assembly source to a (possibly tenanted) server's
+``POST /v1/programs`` gateway and waits for the bound; ``keys``
+administers the API-key keyring file ``serve --keyring`` reads
+(``add`` prints the plaintext key exactly once — only its hash is
+stored); ``cache`` inspects (``stats``) or trims (``gc --max-mb N``)
+the artifact store, including seed-era legacy pickles.
 
 Engine knobs shared by the analysis commands: ``--engine bitplane``
 (default) simulates on packed dual-rail uint64 bit planes, ``--engine
@@ -130,6 +137,13 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         batch_size=args.batch_size, engine=args.engine,
         workers=args.workers,
     )
+    if args.json:
+        import json
+
+        # machine-readable, bit-exact floats (repr round-trip) — the CI
+        # gateway smoke compares this against an uploaded bound
+        print(json.dumps(report.to_payload(), sort_keys=True))
+        return 0
     print(report.summary())
     print(f"peak power : {report.peak_power_mw:.3f} mW (all inputs)")
     print(f"peak energy: {report.peak_energy_pj:.1f} pJ over "
@@ -309,6 +323,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         heartbeat_timeout=args.heartbeat_timeout or None,
         max_job_seconds=args.max_job_seconds or None,
         max_retries=args.max_retries,
+        keyring=args.keyring,
     )
 
 
@@ -417,6 +432,130 @@ def cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_upload(args: argparse.Namespace) -> int:
+    from repro.service.client import (
+        JobFailedError,
+        RateLimitedError,
+        ServiceClient,
+        ServiceError,
+        ServiceUnavailableError,
+    )
+
+    path = Path(args.program)
+    try:
+        source = path.read_text()
+    except OSError as err:
+        raise CliError(f"cannot read {args.program}: {err}")
+    name = args.name or path.stem
+    client = ServiceClient(args.url, api_key=args.api_key)
+    try:
+        job = client.upload(
+            source,
+            name=name,
+            loop_bound=args.loop_bound,
+            max_cycles=args.max_cycles,
+            max_segments=args.max_segments,
+        )
+        if args.no_wait:
+            print(f"{job['job_id']}: {job['state']} "
+                  f"(program {job['program_id']}"
+                  f"{', deduped' if job.get('deduped') else ''})")
+            return 0
+        payload = client.result(job["job_id"], timeout=args.timeout)
+    except ServiceUnavailableError as err:
+        print(f"repro upload: {err}; is `repro serve` running?",
+              file=sys.stderr)
+        return 1
+    except RateLimitedError as err:
+        print(f"repro upload: {err} — retry in {err.retry_after_s:.0f}s",
+              file=sys.stderr)
+        return 1
+    except JobFailedError as err:
+        # structured upload rejection (bad assembly, tripped budget, ...)
+        code = err.payload.get("code", "job_failed")
+        print(f"repro upload: [{code}] {err.payload.get('error', err)}",
+              file=sys.stderr)
+        return 1
+    except ServiceError as err:
+        print(f"repro upload: {err}", file=sys.stderr)
+        return 1
+    except TimeoutError as err:
+        print(f"repro upload: {err}; the job may still be running — "
+              f"retry or query its status", file=sys.stderr)
+        return 1
+    result = payload.get("result", {})
+    if args.json:
+        import json
+
+        print(json.dumps(result, sort_keys=True))
+        return 0
+    dedup = " (deduped)" if job.get("deduped") else ""
+    cached = " [cached]" if result.get("cached") else ""
+    print(f"{result.get('name', name)} "
+          f"({result.get('program_id', job.get('program_id'))}): "
+          f"peak {result['peak_power_mw']:.3f} mW, "
+          f"{result['peak_energy_pj']:.1f} pJ, "
+          f"NPE {result['npe_pj_per_cycle']:.3f} pJ/cycle "
+          f"[{payload['job_id']}{dedup}]{cached}")
+    return 0
+
+
+def cmd_keys(args: argparse.Namespace) -> int:
+    from repro.tenancy import Keyring, KeyringError
+
+    keyring = Keyring(args.keyring)
+    try:
+        if args.keys_command == "add":
+            quotas = None
+            overrides = {
+                key: value
+                for key, value in (
+                    ("requests_per_min", args.requests_per_min),
+                    ("burst", args.burst),
+                    ("max_concurrent_jobs", args.max_jobs),
+                    ("max_source_bytes", args.max_source_bytes),
+                    ("max_job_seconds", args.max_job_seconds),
+                    ("result_ttl_s", args.result_ttl),
+                )
+                if value is not None
+            }
+            if overrides:
+                from repro.tenancy import TenantQuotas
+
+                quotas = TenantQuotas.from_dict(overrides)
+            tenant, plaintext = keyring.add(
+                args.tenant, admin=args.admin, quotas=quotas
+            )
+            print(f"tenant {tenant.id!r} added to {keyring.path}")
+            print("API key (shown once, only its hash is stored):")
+            print(plaintext)
+            return 0
+        if args.keys_command == "revoke":
+            keyring.revoke(args.tenant)
+            print(f"tenant {args.tenant!r} revoked in {keyring.path}")
+            return 0
+        # list
+        tenants = keyring.tenants()
+        if not tenants:
+            print(f"{keyring.path}: no tenants")
+            return 0
+        for tenant in tenants:
+            q = tenant.quotas
+            flags = "".join(
+                flag for flag, on in (
+                    (" admin", tenant.admin), (" REVOKED", tenant.revoked)
+                ) if on
+            )
+            print(f"{tenant.id}{flags}: {q.requests_per_min:g} req/min "
+                  f"(burst {q.burst}), {q.max_concurrent_jobs} jobs, "
+                  f"src<={q.max_source_bytes}B, "
+                  f"{q.max_job_seconds:g}s/job, "
+                  f"ttl {q.result_ttl_s:g}s")
+        return 0
+    except KeyringError as err:
+        raise CliError(str(err))
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from repro.bench import runner
 
@@ -481,6 +620,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--loop-bound", type=int, default=None)
     p_analyze.add_argument("--vcd-dir", default=None,
                            help="write even/odd VCD artifacts here")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="print the bound as one JSON object "
+                                "(bit-exact floats, for scripting/CI)")
     add_batch_size(p_analyze)
     p_analyze.set_defaults(func=cmd_analyze)
 
@@ -613,6 +755,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="retries for crashed/hung workers "
                               "(default 2; executor exceptions are "
                               "never retried)")
+    p_serve.add_argument("--keyring", default=None, metavar="FILE",
+                         help="tenant keyring JSON (see `repro keys`); "
+                              "when set, every request except /healthz "
+                              "needs a valid API key and per-tenant "
+                              "rate/job quotas apply")
     p_serve.set_defaults(func=cmd_serve, engine=None, islands=None,
                          migration_interval=None)
 
@@ -648,6 +795,74 @@ def build_parser() -> argparse.ArgumentParser:
                                "for this job (kinds analyze/profile)")
     add_island_knobs(p_submit)
     p_submit.set_defaults(func=cmd_submit)
+
+    p_upload = sub.add_parser(
+        "upload",
+        help="upload assembly source to a running service's gateway "
+             "and print the guaranteed bound",
+    )
+    p_upload.add_argument("program", help="assembly source file")
+    p_upload.add_argument("--url", default=f"http://127.0.0.1:{DEFAULT_PORT}")
+    p_upload.add_argument("--api-key", default=None,
+                          help="tenant API key (rk_...; required when the "
+                               "server runs with --keyring)")
+    p_upload.add_argument("--name", default=None,
+                          help="program name (default: the file stem)")
+    p_upload.add_argument("--loop-bound", type=int, default=None)
+    p_upload.add_argument("--max-cycles", type=int, default=None,
+                          help="total simulated-cycle budget (capped at "
+                               "the server default)")
+    p_upload.add_argument("--max-segments", type=int, default=None,
+                          help="execution-tree segment budget (capped at "
+                               "the server default)")
+    p_upload.add_argument("--no-wait", action="store_true",
+                          help="print the job id and return immediately")
+    p_upload.add_argument("--timeout", type=float, default=600.0,
+                          help="seconds to wait for the result")
+    p_upload.add_argument("--json", action="store_true",
+                          help="print the result payload as one JSON "
+                               "object (bit-exact floats)")
+    p_upload.set_defaults(func=cmd_upload)
+
+    p_keys = sub.add_parser(
+        "keys", help="administer a gateway keyring file (API keys, quotas)"
+    )
+    keys_sub = p_keys.add_subparsers(dest="keys_command", required=True)
+
+    def add_keyring_arg(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--keyring", default="keyring.json", metavar="FILE",
+            help="keyring JSON file (default: keyring.json)",
+        )
+
+    p_keys_add = keys_sub.add_parser(
+        "add", help="create a tenant; prints its API key exactly once"
+    )
+    add_keyring_arg(p_keys_add)
+    p_keys_add.add_argument("tenant", help="tenant id ([A-Za-z0-9._-]+)")
+    p_keys_add.add_argument("--admin", action="store_true",
+                            help="admin tenants may run store maintenance "
+                                 "and see every tenant's jobs")
+    p_keys_add.add_argument("--requests-per-min", type=float, default=None)
+    p_keys_add.add_argument("--burst", type=int, default=None)
+    p_keys_add.add_argument("--max-jobs", type=int, default=None,
+                            help="concurrent queued+running job quota")
+    p_keys_add.add_argument("--max-source-bytes", type=int, default=None)
+    p_keys_add.add_argument("--max-job-seconds", type=float, default=None)
+    p_keys_add.add_argument("--result-ttl", type=float, default=None,
+                            metavar="S",
+                            help="seconds an uploaded result stays in the "
+                                 "store before gc may evict it")
+    p_keys_list = keys_sub.add_parser(
+        "list", help="list tenants and their quotas"
+    )
+    add_keyring_arg(p_keys_list)
+    p_keys_revoke = keys_sub.add_parser(
+        "revoke", help="revoke a tenant's key (kept in the file for audit)"
+    )
+    p_keys_revoke.add_argument("tenant")
+    add_keyring_arg(p_keys_revoke)
+    p_keys.set_defaults(func=cmd_keys)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or trim the artifact store"

@@ -24,9 +24,15 @@ PRs 1-4 into a long-lived query service with three layers:
 * :mod:`repro.service.faults` — named, seedable fault-injection sites
   (``REPRO_FAULTS``) so the crash/hang/retry machinery is exercised by
   chaos tests, not just written.
+* :mod:`repro.service.gateway` — the multi-tenant upload pipeline:
+  arbitrary MSP430 assembly in (size-capped, schema- and
+  assembly-validated), the same guaranteed bound as ``repro analyze``
+  out, namespaced per tenant with result TTLs (authn/quotas live in
+  :mod:`repro.tenancy`).
 """
 
 from repro.service.faults import FaultInjected, FaultSpecError
+from repro.service.gateway import UploadError, run_upload_job, validate_upload
 from repro.service.journal import JobJournal, ReplayReport, recover_jobs
 from repro.service.scheduler import Job, JobScheduler, UnknownJobError
 from repro.service.store import ArtifactStore, GcReport, StoreStats
@@ -57,4 +63,7 @@ __all__ = [
     "WorkerHung",
     "DeadlineExceeded",
     "describe_exit",
+    "UploadError",
+    "validate_upload",
+    "run_upload_job",
 ]

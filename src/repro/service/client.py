@@ -15,6 +15,14 @@ Connection-level failures — refused, reset, DNS, a server mid-restart —
 are retried with capped exponential backoff and then raised as
 :class:`ServiceUnavailableError`, so a ``repro serve`` bounce under a
 polling client looks like a brief stall, not a stack trace.
+
+Tenanted servers: pass ``api_key=`` and the client sends it as
+``X-API-Key`` on every request.  429 answers (rate limit / job quota)
+are honored automatically — the client sleeps out the server's
+``Retry-After`` (bounded by ``retry_429_budget_s``) and retries, so a
+burst over quota degrades to a stall instead of an exception; when the
+budget runs out it raises :class:`RateLimitedError` with the server's
+hint attached.
 """
 
 from __future__ import annotations
@@ -35,6 +43,14 @@ DEFAULT_CONNECT_RETRIES = 2
 #: backoff between connection retries: min(cap, base * 2**k)
 CONNECT_BACKOFF_S = 0.2
 CONNECT_BACKOFF_CAP_S = 2.0
+
+#: total seconds a request may spend sleeping out 429 Retry-After hints
+#: before giving up with RateLimitedError
+DEFAULT_RETRY_429_BUDGET_S = 30.0
+
+#: ceiling on one 429 sleep — a server asking for more than this gets
+#: the error surfaced instead of a silent multi-minute stall
+MAX_RETRY_AFTER_SLEEP_S = 10.0
 
 
 class ServiceError(RuntimeError):
@@ -67,16 +83,29 @@ class JobCancelledError(ServiceError):
     (``ServiceError`` subclass — ``status`` is 409)."""
 
 
+class RateLimitedError(ServiceError):
+    """The server kept answering 429 past the client's retry budget.
+    ``retry_after_s`` carries the server's last ``Retry-After`` hint."""
+
+    def __init__(self, payload: dict, retry_after_s: float) -> None:
+        super().__init__(429, payload)
+        self.retry_after_s = retry_after_s
+
+
 class ServiceClient:
     def __init__(
         self,
         base_url: str = DEFAULT_URL,
         timeout: float = 60.0,
         connect_retries: int = DEFAULT_CONNECT_RETRIES,
+        api_key: str | None = None,
+        retry_429_budget_s: float = DEFAULT_RETRY_429_BUDGET_S,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.connect_retries = max(0, connect_retries)
+        self.api_key = api_key
+        self.retry_429_budget_s = max(0.0, retry_429_budget_s)
 
     def _request(
         self,
@@ -90,11 +119,15 @@ class ServiceClient:
         if body is not None:
             data = json.dumps(body).encode()
             headers["Content-Type"] = "application/json"
+        if self.api_key:
+            headers["X-API-Key"] = self.api_key
         request = urllib.request.Request(
             self.base_url + path, data=data, method=method, headers=headers
         )
         last_error: Exception | None = None
-        for attempt in range(self.connect_retries + 1):
+        budget_429 = self.retry_429_budget_s
+        attempt = 0
+        while attempt <= self.connect_retries:
             if attempt:
                 time.sleep(
                     min(
@@ -102,18 +135,30 @@ class ServiceClient:
                         CONNECT_BACKOFF_S * (2 ** (attempt - 1)),
                     )
                 )
+            attempt += 1
             try:
                 with urllib.request.urlopen(
                     request, timeout=timeout or self.timeout
                 ) as response:
                     return json.loads(response.read() or b"{}")
             except urllib.error.HTTPError as err:
-                # the server answered: a real HTTP status, never retried
+                # the server answered: a real HTTP status
                 raw = err.read() or b"{}"
                 try:
                     payload = json.loads(raw)
                 except ValueError:
                     payload = {"error": raw.decode(errors="replace")}
+                if err.code == 429:
+                    # honor Retry-After within the bounded budget; a
+                    # throttled burst stalls briefly instead of erroring
+                    hint = self._retry_after_hint(err, payload)
+                    sleep_s = min(hint, MAX_RETRY_AFTER_SLEEP_S)
+                    if sleep_s <= budget_429:
+                        budget_429 -= sleep_s
+                        time.sleep(sleep_s)
+                        attempt -= 1  # a 429 retry is not a connect retry
+                        continue
+                    raise RateLimitedError(payload, hint) from None
                 raise ServiceError(err.code, payload) from None
             except urllib.error.URLError as err:
                 # urlopen wraps socket-level failures (refused, DNS);
@@ -128,6 +173,19 @@ class ServiceClient:
             f"cannot reach analysis service at {self.base_url}: "
             f"{last_error} (after {self.connect_retries + 1} attempts)"
         ) from last_error
+
+    @staticmethod
+    def _retry_after_hint(err, payload: dict) -> float:
+        """The server's Retry-After (header first, payload fallback),
+        floored so a zero hint can never spin the retry loop."""
+        raw = err.headers.get("Retry-After") if err.headers else None
+        if raw is None:
+            raw = payload.get("retry_after_s")
+        try:
+            hint = float(raw) if raw is not None else 1.0
+        except (TypeError, ValueError):
+            hint = 1.0
+        return max(0.1, hint)
 
     # -- endpoints ------------------------------------------------------
 
@@ -191,7 +249,9 @@ class ServiceClient:
                 if err.payload.get("job_id") == job_id:
                     # the *job's* terminal failure, not a transport or
                     # server-internal error: surface it as a typed error
-                    if err.status == 500:
+                    # (422: an upload job rejected its program — bad
+                    # assembly, tripped cycle budget — same failure shape)
+                    if err.status in (500, 422):
                         raise JobFailedError(err.status, err.payload) from None
                     if err.status == 409:
                         raise JobCancelledError(
@@ -206,6 +266,32 @@ class ServiceClient:
 
     def cancel(self, job_id: str) -> dict:
         return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def upload(
+        self,
+        source: str,
+        name: str = "upload",
+        loop_bound: int | None = None,
+        max_cycles: int | None = None,
+        max_segments: int | None = None,
+    ) -> dict:
+        """Upload MSP430 assembly for analysis; returns
+        ``{job_id, program_id, state, deduped}`` (poll with
+        :meth:`result` / :meth:`events`, or fetch the stored bound later
+        with :meth:`program`)."""
+        body: dict = {"source": source, "name": name}
+        if loop_bound is not None:
+            body["loop_bound"] = loop_bound
+        if max_cycles is not None:
+            body["max_cycles"] = max_cycles
+        if max_segments is not None:
+            body["max_segments"] = max_segments
+        return self._request("POST", "/v1/programs", body)
+
+    def program(self, program_id: str) -> dict:
+        """The stored bound for an uploaded program (404 -> ServiceError
+        once the result TTL has expired and gc collected it)."""
+        return self._request("GET", f"/v1/programs/{program_id}")
 
     def store_stats(self) -> dict:
         return self._request("GET", "/v1/store/stats")

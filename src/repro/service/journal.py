@@ -66,6 +66,8 @@ class PendingJob:
     params: dict
     priority: int = 0
     deadline_s: float | None = None
+    #: owning tenant id (None: pre-tenancy record or open server)
+    tenant: str | None = None
     #: "queued" or "running" at crash time (running = orphaned worker)
     last_state: str = "queued"
     #: highest attempt journaled (informational; recovery resets to 1)
@@ -113,18 +115,20 @@ class JobJournal:
         params: dict,
         priority: int = 0,
         deadline_s: float | None = None,
+        tenant: str | None = None,
     ) -> None:
-        self.append(
-            {
-                "op": "submit",
-                "job_id": job_id,
-                "kind": kind,
-                "params": params,
-                "priority": priority,
-                "deadline_s": deadline_s,
-                "ts": time.time(),
-            }
-        )
+        record = {
+            "op": "submit",
+            "job_id": job_id,
+            "kind": kind,
+            "params": params,
+            "priority": priority,
+            "deadline_s": deadline_s,
+            "ts": time.time(),
+        }
+        if tenant is not None:
+            record["tenant"] = tenant
+        self.append(record)
 
     def record_start(self, job_id: str, attempt: int = 1) -> None:
         self.append(
@@ -183,6 +187,7 @@ class JobJournal:
             if op == "submit":
                 params = record.get("params")
                 deadline = record.get("deadline_s")
+                tenant = record.get("tenant")
                 submitted[job_id] = PendingJob(
                     job_id=job_id,
                     kind=str(record.get("kind", "")),
@@ -191,6 +196,7 @@ class JobJournal:
                     deadline_s=(
                         float(deadline) if deadline is not None else None
                     ),
+                    tenant=tenant if isinstance(tenant, str) else None,
                 )
             elif op in ("start", "retry"):
                 pending = submitted.get(job_id)
@@ -246,6 +252,7 @@ def recover_jobs(scheduler, report: ReplayReport) -> dict:
                 priority=pending.priority,
                 deadline_s=pending.deadline_s,
                 recover_id=pending.job_id,
+                tenant=pending.tenant,
             )
         except (KeyError, ValueError):
             skipped += 1

@@ -149,15 +149,24 @@ def normalize_params(kind: str, params: dict) -> dict:
             raise ValueError("fuzz must be an integer >= 0")
         params["fuzz"] = fuzz
         params["seed"] = int(params.get("seed", 2017))
+    if kind == "upload":
+        from repro.service.gateway import normalize_upload_params
+
+        params = normalize_upload_params(params)
     return params
 
 
-def job_signature(kind: str, params: dict) -> str:
+def job_signature(kind: str, params: dict, tenant: str | None = None) -> str:
     """Canonical dedupe signature: kind + sorted params, priority excluded
     (a high-priority duplicate should join the in-flight run, not fork
-    a second one)."""
+    a second one).  The owning tenant is part of the signature — two
+    tenants uploading identical source must get distinct jobs, or one
+    would learn the other's job id through the dedup echo."""
+    payload = {"kind": kind, "params": params}
+    if tenant is not None:
+        payload["tenant"] = tenant
     return json.dumps(
-        {"kind": kind, "params": params},
+        payload,
         sort_keys=True,
         separators=(",", ":"),
         default=str,
@@ -181,6 +190,7 @@ class Job:
     deadline_s: float | None = None  # per-job wall-clock budget
     deadline_hit: bool = False  # the thread backend's deadline timer fired
     recovered: bool = False  # requeued from the journal after a restart
+    tenant: str | None = None  # owning tenant id (None on open servers)
     cancel_requested: bool = False
     #: trips the engine's cooperative checkpoints (and, on the process
     #: backend, arms the worker-kill backstop)
@@ -216,6 +226,8 @@ class Job:
             data["deadline_s"] = self.deadline_s
         if self.recovered:
             data["recovered"] = True
+        if self.tenant is not None:
+            data["tenant"] = self.tenant
         if self.error is not None:
             data["error"] = self.error
         if include_result and self.result is not None:
@@ -350,6 +362,11 @@ class JobScheduler:
         self._seq = 0
         self._stop = False
         self._workers: set[threading.Thread] = set()
+        #: optional ``(job) -> None`` hook fired once per job as it
+        #: reaches a terminal state (the gateway releases the owning
+        #: tenant's concurrency quota here); called with the scheduler
+        #: lock held, so it must not call back into the scheduler
+        self.on_terminal: Callable[[Job], None] | None = None
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-scheduler", daemon=True
         )
@@ -364,6 +381,7 @@ class JobScheduler:
         priority: int = 0,
         deadline_s: float | None = None,
         recover_id: str | None = None,
+        tenant: str | None = None,
     ) -> tuple[Job, bool]:
         """Enqueue a request; return ``(job, deduped)``.
 
@@ -373,7 +391,9 @@ class JobScheduler:
         (excluded from the dedupe signature; a duplicate's tighter
         deadline transfers to the shared job).  *recover_id* reuses a
         journaled job id on crash recovery so clients polling across a
-        restart keep working.
+        restart keep working.  *tenant* scopes the job (and its dedupe
+        signature) to one authenticated principal; it survives journal
+        replay.
         """
         if kind not in self.executors:
             known = ", ".join(sorted(self.executors))
@@ -381,7 +401,7 @@ class JobScheduler:
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
         params = normalize_params(kind, params or {})
-        signature = job_signature(kind, params)
+        signature = job_signature(kind, params, tenant=tenant)
         with self._cond:
             if self._stop:
                 raise RuntimeError("scheduler is shut down")
@@ -427,6 +447,7 @@ class JobScheduler:
                 signature=signature,
                 deadline_s=deadline_s,
                 recovered=recover_id is not None,
+                tenant=tenant,
             )
             self._jobs[job.id] = job
             self._inflight[signature] = job
@@ -435,7 +456,7 @@ class JobScheduler:
             if self.journal is not None:
                 self.journal.record_submit(
                     job.id, kind, params,
-                    priority=priority, deadline_s=deadline_s,
+                    priority=priority, deadline_s=deadline_s, tenant=tenant,
                 )
             self._cond.notify_all()
         return job, False
@@ -545,8 +566,10 @@ class JobScheduler:
             "heartbeat_timeout_s": self.heartbeat_timeout,
             "max_job_seconds": self.max_job_seconds,
             "kill_grace_s": kill_grace,
+            # file name only: /healthz may be reachable unauthenticated
+            # and must not leak the store's filesystem layout
             "journal": (
-                str(self.journal.path) if self.journal is not None else None
+                self.journal.path.name if self.journal is not None else None
             ),
         }
 
@@ -750,6 +773,11 @@ class JobScheduler:
             self.journal.record_terminal(job.id, state, error=error)
         if self._inflight.get(job.signature) is job:
             del self._inflight[job.signature]
+        if self.on_terminal is not None:
+            try:
+                self.on_terminal(job)
+            except Exception:
+                pass  # quota bookkeeping must never fail a job transition
         job.done_event.set()
         self._finished_order.append(job.id)
         while len(self._finished_order) > self.max_finished_jobs:
@@ -896,9 +924,15 @@ def run_conformance_job(params: dict, ctx: JobContext) -> dict:
 
 
 def default_executors() -> dict[str, Executor]:
+    # the upload executor lives in the gateway module; imported lazily so
+    # a bare scheduler import stays cheap, referenced as a module-level
+    # function so the table stays picklable for the process backend
+    from repro.service.gateway import run_upload_job
+
     return {
         "analyze": run_analyze_job,
         "profile": run_profile_job,
         "stressmark": run_stressmark_job,
         "conformance": run_conformance_job,
+        "upload": run_upload_job,
     }

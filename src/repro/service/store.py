@@ -24,10 +24,17 @@ reader sees the complete old bytes or the complete new bytes, nothing
 in between.  Reads verify the digest; a corrupt artifact counts as a
 miss and is recomputed over, never silently returned.
 
-Garbage collection (:meth:`ArtifactStore.gc`) evicts in three waves:
+Garbage collection (:meth:`ArtifactStore.gc`) evicts in waves:
 stale-fingerprint versions and legacy unversioned entries first (they
-can never be read again), then least-recently-used entries until the
-store fits under the requested size cap.
+can never be read again), then entries whose TTL has lapsed, then
+least-recently-used entries until the store fits under the requested
+size cap.
+
+Entries may carry a TTL: ``put(key, value, ttl_s=...)`` stamps an
+``expires_at`` into the sidecar, after which reads miss and gc evicts
+the artifact.  Registry-benchmark artifacts are written without a TTL
+and are never expiry-evicted — TTLs exist for tenant-uploaded results,
+which must age out of a shared store.
 """
 
 from __future__ import annotations
@@ -104,6 +111,12 @@ class Entry:
     accessed: float
     hits: int
     legacy: bool  # no sidecar metadata (seed-era pickle)
+    expires_at: float | None = None  # None: immortal (no TTL)
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.expires_at is None:
+            return False
+        return (time.time() if now is None else now) >= self.expires_at
 
     @property
     def kind(self) -> str:
@@ -219,6 +232,11 @@ class ArtifactStore:
                 self.counters.corrupt += 1
                 self.counters.misses += 1
                 raise KeyError(key)
+        if meta is not None and self._meta_expired(meta):
+            # an expired entry is a miss, not a stale hit; eviction of
+            # the bytes themselves is gc's job
+            self.counters.misses += 1
+            raise KeyError(key)
         try:
             value = pickle.loads(data)
         except Exception:
@@ -244,11 +262,13 @@ class ArtifactStore:
                 pass
         return value
 
-    def put(self, key: str, value) -> str:
+    def put(self, key: str, value, ttl_s: float | None = None) -> str:
         """Atomically publish *value* under *key*; return its digest.
 
         The artifact file holds exactly ``pickle.dumps(value)`` — byte
         identical to the pre-store ``bench/runner`` cache format.
+        With *ttl_s* the sidecar gains an ``expires_at`` stamp; once it
+        passes, reads miss and gc evicts the entry.
         """
         faults.hit("store.write")
         self.root.mkdir(parents=True, exist_ok=True)
@@ -262,18 +282,18 @@ class ArtifactStore:
         with self._publish_lock(path):
             self._atomic_write(path, data)
             now = time.time()
-            self._write_meta(
-                path,
-                {
-                    "key": key,
-                    "fingerprint": self.fingerprint(),
-                    "digest": digest,
-                    "size": len(data),
-                    "created": now,
-                    "accessed": now,
-                    "hits": 0,
-                },
-            )
+            meta = {
+                "key": key,
+                "fingerprint": self.fingerprint(),
+                "digest": digest,
+                "size": len(data),
+                "created": now,
+                "accessed": now,
+                "hits": 0,
+            }
+            if ttl_s is not None:
+                meta["expires_at"] = now + float(ttl_s)
+            self._write_meta(path, meta)
         self.counters.writes += 1
         return digest
 
@@ -313,6 +333,7 @@ class ArtifactStore:
                     meta_size = self._meta_path(path).stat().st_size
                 except OSError:
                     meta_size = 0
+                expires_at = meta.get("expires_at")
                 found.append(
                     Entry(
                         path=path,
@@ -323,6 +344,9 @@ class ArtifactStore:
                         accessed=float(meta.get("accessed", stat.st_mtime)),
                         hits=int(meta.get("hits", 0)),
                         legacy=False,
+                        expires_at=(
+                            float(expires_at) if expires_at is not None else None
+                        ),
                     )
                 )
             else:
@@ -364,8 +388,9 @@ class ArtifactStore:
 
         Eviction order: abandoned scratch files, then stale-fingerprint
         and legacy unversioned entries (unreadable by the current
-        version, pure dead weight), then — only when the cap is still
-        exceeded — live entries from least to most recently used.
+        version, pure dead weight), then entries whose TTL has lapsed,
+        then — only when the cap is still exceeded — live entries from
+        least to most recently used.
         """
         report = GcReport()
         if not self.root.is_dir():
@@ -383,7 +408,7 @@ class ArtifactStore:
         current = self.fingerprint()
         live: list[Entry] = []
         for entry in self.entries():
-            if self._is_stale(entry, current):
+            if self._is_stale(entry, current) or entry.expired(now):
                 self._remove(entry, report)
             else:
                 live.append(entry)
@@ -421,6 +446,16 @@ class ArtifactStore:
                 pass
         report.removed.append(entry.path.name)
         report.freed_bytes += entry.size
+
+    @staticmethod
+    def _meta_expired(meta: dict) -> bool:
+        expires_at = meta.get("expires_at")
+        if expires_at is None:
+            return False
+        try:
+            return time.time() >= float(expires_at)
+        except (TypeError, ValueError):
+            return False
 
     @staticmethod
     def _meta_path(path: Path) -> Path:

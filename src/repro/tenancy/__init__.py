@@ -1,0 +1,31 @@
+"""Multi-tenancy primitives for the analysis gateway.
+
+``keyring`` answers *who is this* (hashed API keys → tenants with
+budgets); ``limits`` answers *may they do this right now* (token-bucket
+rates + concurrent-job quotas).  The service layer composes both in
+front of the upload pipeline; nothing in here knows about HTTP.
+"""
+
+from .keyring import (
+    KEY_PREFIX,
+    Keyring,
+    KeyringError,
+    Tenant,
+    TenantQuotas,
+    generate_key,
+    hash_key,
+)
+from .limits import Decision, JobQuota, RateLimiter
+
+__all__ = [
+    "KEY_PREFIX",
+    "Keyring",
+    "KeyringError",
+    "Tenant",
+    "TenantQuotas",
+    "generate_key",
+    "hash_key",
+    "Decision",
+    "JobQuota",
+    "RateLimiter",
+]

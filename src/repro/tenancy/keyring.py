@@ -1,0 +1,313 @@
+"""API-key keyring: who may talk to the gateway, and with what budget.
+
+The multi-tenant gateway authenticates every request against a keyring
+file — a small JSON document mapping **hashed** API keys to tenants.
+Plaintext keys are never stored: ``repro keys add`` generates a key,
+prints it exactly once, and persists only its SHA-256.  Losing the key
+means issuing a new one, exactly like any production API-key scheme.
+
+File format (``keyring.json``)::
+
+    {
+      "version": 1,
+      "tenants": [
+        {
+          "id": "acme",
+          "key_sha256": "<64 hex chars>",
+          "admin": false,
+          "revoked": false,
+          "created": 1754600000.0,
+          "quotas": {
+            "requests_per_min": 120,
+            "burst": 20,
+            "max_concurrent_jobs": 4,
+            "max_source_bytes": 262144,
+            "result_ttl_s": 604800.0
+          }
+        }
+      ]
+    }
+
+Unknown quota keys are ignored and missing ones take the defaults, so a
+newer server reads an older keyring (and vice versa).  The server
+re-stats the file on each authentication and reloads when it changed,
+so ``repro keys add``/``revoke`` against a live server's keyring take
+effect without a restart.
+
+Admin tenants (``admin: true``) may additionally use the store
+maintenance endpoints and see every tenant's jobs; ordinary tenants see
+only their own namespace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import os
+import secrets
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+#: prefix on every generated key — makes leaked keys grep-able and
+#: lets the server reject garbage before hashing
+KEY_PREFIX = "rk_"
+
+#: default per-tenant budgets (a keyring entry may override any subset)
+DEFAULT_REQUESTS_PER_MIN = 120.0
+DEFAULT_BURST = 20
+DEFAULT_MAX_CONCURRENT_JOBS = 4
+DEFAULT_MAX_SOURCE_BYTES = 256 * 1024
+DEFAULT_MAX_JOB_SECONDS = 300.0
+DEFAULT_RESULT_TTL_S = 7 * 24 * 3600.0
+
+
+class KeyringError(Exception):
+    """A malformed keyring file or an invalid admin operation."""
+
+
+def hash_key(key: str) -> str:
+    """The stored form of an API key (SHA-256 hex)."""
+    return hashlib.sha256(key.encode()).hexdigest()
+
+
+def generate_key() -> str:
+    """A fresh API key: ``rk_`` + 192 bits of urlsafe randomness."""
+    return KEY_PREFIX + secrets.token_urlsafe(24)
+
+
+@dataclass(frozen=True)
+class TenantQuotas:
+    """Per-tenant budgets the gateway enforces."""
+
+    requests_per_min: float = DEFAULT_REQUESTS_PER_MIN
+    burst: int = DEFAULT_BURST
+    max_concurrent_jobs: int = DEFAULT_MAX_CONCURRENT_JOBS
+    max_source_bytes: int = DEFAULT_MAX_SOURCE_BYTES
+    max_job_seconds: float = DEFAULT_MAX_JOB_SECONDS
+    result_ttl_s: float = DEFAULT_RESULT_TTL_S
+
+    def to_dict(self) -> dict:
+        return {
+            "requests_per_min": self.requests_per_min,
+            "burst": self.burst,
+            "max_concurrent_jobs": self.max_concurrent_jobs,
+            "max_source_bytes": self.max_source_bytes,
+            "max_job_seconds": self.max_job_seconds,
+            "result_ttl_s": self.result_ttl_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantQuotas":
+        """Tolerant parse: unknown keys ignored, missing keys default."""
+        kwargs = {}
+        for name, caster in (
+            ("requests_per_min", float),
+            ("burst", int),
+            ("max_concurrent_jobs", int),
+            ("max_source_bytes", int),
+            ("max_job_seconds", float),
+            ("result_ttl_s", float),
+        ):
+            value = data.get(name)
+            if value is not None:
+                try:
+                    kwargs[name] = caster(value)
+                except (TypeError, ValueError):
+                    raise KeyringError(
+                        f"quota {name} must be a number, got {value!r}"
+                    ) from None
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One authenticated principal."""
+
+    id: str
+    key_sha256: str
+    admin: bool = False
+    revoked: bool = False
+    created: float = field(default_factory=time.time)
+    quotas: TenantQuotas = field(default_factory=TenantQuotas)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "key_sha256": self.key_sha256,
+            "admin": self.admin,
+            "revoked": self.revoked,
+            "created": self.created,
+            "quotas": self.quotas.to_dict(),
+        }
+
+
+def _parse_tenant(data: dict) -> Tenant:
+    tenant_id = data.get("id")
+    key_sha256 = data.get("key_sha256")
+    if not isinstance(tenant_id, str) or not tenant_id:
+        raise KeyringError("tenant entry is missing a string 'id'")
+    if not isinstance(key_sha256, str) or len(key_sha256) != 64:
+        raise KeyringError(
+            f"tenant {tenant_id!r} is missing a valid 'key_sha256'"
+        )
+    quotas = data.get("quotas")
+    return Tenant(
+        id=tenant_id,
+        key_sha256=key_sha256,
+        admin=bool(data.get("admin", False)),
+        revoked=bool(data.get("revoked", False)),
+        created=float(data.get("created", 0.0) or 0.0),
+        quotas=TenantQuotas.from_dict(
+            quotas if isinstance(quotas, dict) else {}
+        ),
+    )
+
+
+class Keyring:
+    """The set of tenants loaded from (and saved to) a keyring file.
+
+    ``authenticate`` is the hot path: it re-stats the file and reloads
+    on mtime change (so key rotation against a live server works), then
+    matches the presented key's hash against every non-revoked tenant
+    with ``hmac.compare_digest``.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._tenants: dict[str, Tenant] = {}
+        self._loaded_mtime: float | None = None
+        if self.path.exists():
+            self.reload()
+
+    # -- persistence ----------------------------------------------------
+
+    def reload(self) -> None:
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError as err:
+            raise KeyringError(f"cannot read keyring {self.path}: {err}")
+        try:
+            data = json.loads(raw)
+        except ValueError as err:
+            raise KeyringError(f"keyring {self.path} is not valid JSON: {err}")
+        if not isinstance(data, dict) or not isinstance(
+            data.get("tenants"), list
+        ):
+            raise KeyringError(
+                f"keyring {self.path} must be an object with a 'tenants' list"
+            )
+        tenants: dict[str, Tenant] = {}
+        for entry in data["tenants"]:
+            if not isinstance(entry, dict):
+                raise KeyringError("tenant entries must be objects")
+            tenant = _parse_tenant(entry)
+            if tenant.id in tenants:
+                raise KeyringError(f"duplicate tenant id {tenant.id!r}")
+            tenants[tenant.id] = tenant
+        self._tenants = tenants
+        try:
+            self._loaded_mtime = self.path.stat().st_mtime
+        except OSError:
+            self._loaded_mtime = None
+
+    def save(self) -> None:
+        """Atomically persist the keyring, owner-readable only."""
+        payload = {
+            "version": 1,
+            "tenants": [t.to_dict() for t in self._tenants.values()],
+        }
+        data = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        scratch = self.path.with_name(f"{self.path.name}.tmp{os.getpid()}")
+        try:
+            scratch.write_text(data, encoding="utf-8")
+            os.chmod(scratch, 0o600)
+            os.replace(scratch, self.path)
+        except BaseException:
+            try:
+                scratch.unlink()
+            except OSError:
+                pass
+            raise
+        try:
+            self._loaded_mtime = self.path.stat().st_mtime
+        except OSError:
+            self._loaded_mtime = None
+
+    def _maybe_reload(self) -> None:
+        try:
+            mtime = self.path.stat().st_mtime
+        except OSError:
+            return
+        if self._loaded_mtime is None or mtime != self._loaded_mtime:
+            try:
+                self.reload()
+            except KeyringError:
+                # a half-written keyring must not take down a live
+                # server's auth; keep serving the last good snapshot
+                pass
+
+    # -- queries --------------------------------------------------------
+
+    def tenants(self) -> list[Tenant]:
+        return list(self._tenants.values())
+
+    def get(self, tenant_id: str) -> Tenant | None:
+        return self._tenants.get(tenant_id)
+
+    def authenticate(self, presented: str | None) -> Tenant | None:
+        """The tenant owning *presented*, or None (unknown/revoked/empty)."""
+        if not presented or not presented.startswith(KEY_PREFIX):
+            return None
+        self._maybe_reload()
+        digest = hash_key(presented)
+        for tenant in self._tenants.values():
+            if tenant.revoked:
+                continue
+            if hmac.compare_digest(tenant.key_sha256, digest):
+                return tenant
+        return None
+
+    # -- admin operations (the `repro keys` verbs) ----------------------
+
+    def add(
+        self,
+        tenant_id: str,
+        admin: bool = False,
+        quotas: TenantQuotas | None = None,
+    ) -> tuple[Tenant, str]:
+        """Create a tenant; returns ``(tenant, plaintext_key)``.
+
+        The plaintext key exists only in the return value — persist it
+        on the caller's side or lose it.
+        """
+        if not tenant_id or not all(
+            c.isalnum() or c in "-_." for c in tenant_id
+        ):
+            raise KeyringError(
+                f"tenant id must be [A-Za-z0-9._-]+, got {tenant_id!r}"
+            )
+        if tenant_id in self._tenants:
+            raise KeyringError(f"tenant {tenant_id!r} already exists")
+        key = generate_key()
+        tenant = Tenant(
+            id=tenant_id,
+            key_sha256=hash_key(key),
+            admin=admin,
+            quotas=quotas if quotas is not None else TenantQuotas(),
+        )
+        self._tenants[tenant_id] = tenant
+        self.save()
+        return tenant, key
+
+    def revoke(self, tenant_id: str) -> Tenant:
+        """Mark a tenant revoked (kept in the file for audit)."""
+        tenant = self._tenants.get(tenant_id)
+        if tenant is None:
+            raise KeyringError(f"unknown tenant {tenant_id!r}")
+        revoked = replace(tenant, revoked=True)
+        self._tenants[tenant_id] = revoked
+        self.save()
+        return revoked

@@ -1,0 +1,113 @@
+"""Per-tenant admission control: token-bucket rates and job quotas.
+
+Two independent budgets gate expensive requests:
+
+* a **token bucket** per tenant (capacity = ``burst``, refill =
+  ``requests_per_min``/60 tokens per second) throttles request *rate*;
+* a **concurrent-job quota** caps how many of a tenant's jobs may be
+  queued or running at once, so one tenant cannot occupy the whole
+  scheduler.
+
+Both answer with a ``RetryAfter`` hint so the server can emit an honest
+``Retry-After`` header and the client can back off without guessing.
+All state is in-memory — limits reset on server restart, which is the
+right trade for a rate limiter (a restart forgiving a few requests is
+harmless; persisting buckets is not).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+from .keyring import TenantQuotas
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of an admission check."""
+
+    allowed: bool
+    #: seconds until the request would be admitted (0 when allowed);
+    #: already ceil'd to an integer suitable for a Retry-After header
+    retry_after_s: int = 0
+    #: which budget said no: "rate" or "jobs" (empty when allowed)
+    reason: str = ""
+
+
+class _Bucket:
+    __slots__ = ("tokens", "stamp")
+
+    def __init__(self, tokens: float, stamp: float) -> None:
+        self.tokens = tokens
+        self.stamp = stamp
+
+
+class RateLimiter:
+    """Token buckets keyed by tenant id."""
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._buckets: dict[str, _Bucket] = {}
+        self._lock = threading.Lock()
+
+    def check(self, tenant_id: str, quotas: TenantQuotas) -> Decision:
+        """Consume one token if available, else say when one will be."""
+        rate = quotas.requests_per_min / 60.0
+        capacity = float(max(1, quotas.burst))
+        if rate <= 0:
+            return Decision(False, retry_after_s=60, reason="rate")
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(tenant_id)
+            if bucket is None:
+                bucket = _Bucket(capacity, now)
+                self._buckets[tenant_id] = bucket
+            elapsed = max(0.0, now - bucket.stamp)
+            bucket.tokens = min(capacity, bucket.tokens + elapsed * rate)
+            bucket.stamp = now
+            if bucket.tokens >= 1.0:
+                bucket.tokens -= 1.0
+                return Decision(True)
+            wait = (1.0 - bucket.tokens) / rate
+        return Decision(False, retry_after_s=max(1, math.ceil(wait)), reason="rate")
+
+
+class JobQuota:
+    """Counts a tenant's in-flight (queued or running) jobs."""
+
+    def __init__(self) -> None:
+        self._active: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tenant_id: str, quotas: TenantQuotas) -> Decision:
+        limit = quotas.max_concurrent_jobs
+        with self._lock:
+            current = self._active.get(tenant_id, 0)
+            if limit > 0 and current >= limit:
+                # no refill schedule to predict here — a job has to
+                # finish; suggest a short fixed poll interval
+                return Decision(False, retry_after_s=2, reason="jobs")
+            self._active[tenant_id] = current + 1
+        return Decision(True)
+
+    def note(self, tenant_id: str) -> None:
+        """Unconditionally count one active job (used when requeuing a
+        tenant's journaled jobs on recovery — they hold slots exactly
+        like live submissions, but must never be refused)."""
+        with self._lock:
+            self._active[tenant_id] = self._active.get(tenant_id, 0) + 1
+
+    def release(self, tenant_id: str) -> None:
+        with self._lock:
+            current = self._active.get(tenant_id, 0)
+            if current <= 1:
+                self._active.pop(tenant_id, None)
+            else:
+                self._active[tenant_id] = current - 1
+
+    def active(self, tenant_id: str) -> int:
+        with self._lock:
+            return self._active.get(tenant_id, 0)

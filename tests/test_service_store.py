@@ -300,3 +300,53 @@ class TestRunnerIntegration:
         second = runner.artifact_store()
         assert second is not first
         assert second.root == tmp_path / "elsewhere"
+
+
+class TestResultTTL:
+    """Per-artifact TTLs: expired entries read as misses and gc evicts
+    them; TTL-free entries (the registry benchmarks) are immortal."""
+
+    def test_put_with_ttl_stamps_expires_at(self, store):
+        store.put("upload_acme_p1", {"v": 1}, ttl_s=3600.0)
+        (entry,) = store.entries()
+        assert entry.expires_at == pytest.approx(
+            time.time() + 3600.0, abs=5.0
+        )
+        assert not entry.expired()
+
+    def test_expired_entry_reads_as_a_miss(self, store):
+        store.put("upload_acme_p1", {"v": 1}, ttl_s=0.05)
+        assert store.get("upload_acme_p1") == {"v": 1}  # fresh: a hit
+        time.sleep(0.06)
+        misses = store.counters.misses
+        with pytest.raises(KeyError):
+            store.get("upload_acme_p1")
+        assert store.counters.misses == misses + 1
+        assert store.path_for("upload_acme_p1").exists()  # gc's job
+
+    def test_gc_evicts_expired_entries(self, store):
+        store.put("upload_acme_p1", {"v": 1}, ttl_s=0.05)
+        store.put("upload_acme_p2", {"v": 2}, ttl_s=3600.0)
+        store.put("xbased_mult", {"v": 3})  # no TTL: immortal
+        time.sleep(0.06)
+        report = store.gc()
+        removed = set(report.removed)
+        assert store.path_for("upload_acme_p1").name in removed
+        assert store.path_for("upload_acme_p2").name not in removed
+        assert store.get("upload_acme_p2") == {"v": 2}
+        assert store.get("xbased_mult") == {"v": 3}
+
+    def test_ttl_free_entries_never_expire(self, store):
+        """Registry-benchmark artifacts carry no expires_at at all."""
+        store.put("xbased_mult", {"v": 1})
+        meta = store._read_meta(store.path_for("xbased_mult"))
+        assert "expires_at" not in meta
+        (entry,) = store.entries()
+        assert entry.expires_at is None
+        assert not entry.expired(now=time.time() + 10**9)
+
+    def test_overwrite_refreshes_the_ttl(self, store):
+        store.put("upload_acme_p1", {"v": 1}, ttl_s=0.05)
+        time.sleep(0.06)
+        store.put("upload_acme_p1", {"v": 2}, ttl_s=3600.0)
+        assert store.get("upload_acme_p1") == {"v": 2}

@@ -1,0 +1,202 @@
+"""Tenancy primitives: the keyring and the admission-control budgets.
+
+The gateway's security story rests on these pieces, so they are pinned
+directly: plaintext keys are never persisted (only SHA-256 hashes),
+revocation and live-file rotation work against a running keyring, and
+the rate/quota limiters answer with honest ``Retry-After`` hints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import stat
+
+import pytest
+
+from repro.tenancy import (
+    KEY_PREFIX,
+    Decision,
+    JobQuota,
+    Keyring,
+    KeyringError,
+    RateLimiter,
+    TenantQuotas,
+    generate_key,
+    hash_key,
+)
+
+
+@pytest.fixture
+def keyring(tmp_path):
+    return Keyring(tmp_path / "keyring.json")
+
+
+class TestKeys:
+    def test_generated_keys_are_prefixed_and_unique(self):
+        keys = {generate_key() for _ in range(32)}
+        assert len(keys) == 32
+        assert all(k.startswith(KEY_PREFIX) for k in keys)
+
+    def test_hash_is_sha256_hex(self):
+        assert len(hash_key("rk_x")) == 64
+        assert hash_key("rk_x") == hash_key("rk_x")
+        assert hash_key("rk_x") != hash_key("rk_y")
+
+
+class TestKeyring:
+    def test_add_returns_plaintext_but_stores_only_the_hash(self, keyring):
+        tenant, key = keyring.add("acme")
+        assert key.startswith(KEY_PREFIX)
+        assert tenant.key_sha256 == hash_key(key)
+        raw = keyring.path.read_text()
+        assert key not in raw  # the plaintext never touches disk
+        assert tenant.key_sha256 in raw
+
+    def test_keyring_file_is_owner_only(self, keyring):
+        keyring.add("acme")
+        mode = stat.S_IMODE(os.stat(keyring.path).st_mode)
+        assert mode == 0o600
+
+    def test_authenticate_round_trip(self, keyring):
+        tenant, key = keyring.add("acme")
+        assert keyring.authenticate(key).id == "acme"
+        assert keyring.authenticate("rk_wrong") is None
+        assert keyring.authenticate(None) is None
+        assert keyring.authenticate("") is None
+        # a key without the prefix is rejected before any hashing
+        assert keyring.authenticate("garbage") is None
+
+    def test_revoked_key_stops_authenticating_but_stays_on_file(
+        self, keyring
+    ):
+        tenant, key = keyring.add("acme")
+        keyring.revoke("acme")
+        assert keyring.authenticate(key) is None
+        reloaded = Keyring(keyring.path)
+        assert reloaded.get("acme").revoked is True  # kept for audit
+
+    def test_reload_picks_up_external_rotation(self, keyring, tmp_path):
+        """`repro keys add` against a live server's keyring file takes
+        effect without a restart (mtime-triggered reload)."""
+        keyring.add("acme")
+        other = Keyring(keyring.path)
+        _, key = other.add("beta")
+        # force an mtime difference even on coarse filesystems
+        os.utime(keyring.path, (0, 0))
+        assert keyring.authenticate(key).id == "beta"
+
+    def test_half_written_file_keeps_last_good_snapshot(self, keyring):
+        tenant, key = keyring.add("acme")
+        keyring.path.write_text('{"version": 1, "tenants": [')  # torn
+        os.utime(keyring.path, (0, 0))
+        assert keyring.authenticate(key).id == "acme"
+
+    def test_duplicate_and_invalid_ids_rejected(self, keyring):
+        keyring.add("acme")
+        with pytest.raises(KeyringError):
+            keyring.add("acme")
+        with pytest.raises(KeyringError):
+            keyring.add("no spaces")
+        with pytest.raises(KeyringError):
+            keyring.add("")
+
+    def test_revoke_unknown_tenant_raises(self, keyring):
+        with pytest.raises(KeyringError):
+            keyring.revoke("ghost")
+
+    def test_malformed_file_raises_keyring_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(KeyringError):
+            Keyring(path)
+        path.write_text(json.dumps({"tenants": "nope"}))
+        with pytest.raises(KeyringError):
+            Keyring(path)
+        path.write_text(json.dumps({"tenants": [{"id": "x"}]}))
+        with pytest.raises(KeyringError):
+            Keyring(path)
+
+    def test_quota_overrides_survive_the_file(self, keyring):
+        quotas = TenantQuotas.from_dict(
+            {"max_concurrent_jobs": 1, "result_ttl_s": 60}
+        )
+        keyring.add("acme", quotas=quotas)
+        loaded = Keyring(keyring.path).get("acme").quotas
+        assert loaded.max_concurrent_jobs == 1
+        assert loaded.result_ttl_s == 60.0
+        # unspecified knobs take the defaults
+        assert loaded.burst == TenantQuotas().burst
+
+    def test_quotas_tolerant_parse(self):
+        quotas = TenantQuotas.from_dict(
+            {"burst": 5, "future_knob": "ignored"}
+        )
+        assert quotas.burst == 5
+        with pytest.raises(KeyringError):
+            TenantQuotas.from_dict({"burst": "many"})
+
+
+class TestRateLimiter:
+    def test_burst_then_throttle_then_refill(self):
+        clock = [0.0]
+        limiter = RateLimiter(clock=lambda: clock[0])
+        quotas = TenantQuotas(requests_per_min=60.0, burst=2)  # 1 tok/s
+        assert limiter.check("t", quotas).allowed
+        assert limiter.check("t", quotas).allowed
+        refusal = limiter.check("t", quotas)
+        assert not refusal.allowed
+        assert refusal.reason == "rate"
+        assert refusal.retry_after_s >= 1
+        clock[0] += refusal.retry_after_s
+        assert limiter.check("t", quotas).allowed
+
+    def test_tenants_have_independent_buckets(self):
+        clock = [0.0]
+        limiter = RateLimiter(clock=lambda: clock[0])
+        quotas = TenantQuotas(requests_per_min=60.0, burst=1)
+        assert limiter.check("a", quotas).allowed
+        assert not limiter.check("a", quotas).allowed
+        assert limiter.check("b", quotas).allowed
+
+    def test_zero_rate_always_refuses(self):
+        limiter = RateLimiter(clock=lambda: 0.0)
+        refusal = limiter.check("t", TenantQuotas(requests_per_min=0.0))
+        assert not refusal.allowed
+        assert refusal.retry_after_s > 0
+
+
+class TestJobQuota:
+    def test_acquire_release_cycle(self):
+        quota = JobQuota()
+        quotas = TenantQuotas(max_concurrent_jobs=2)
+        assert quota.try_acquire("t", quotas).allowed
+        assert quota.try_acquire("t", quotas).allowed
+        refusal = quota.try_acquire("t", quotas)
+        assert not refusal.allowed
+        assert refusal.reason == "jobs"
+        assert refusal.retry_after_s > 0
+        quota.release("t")
+        assert quota.try_acquire("t", quotas).allowed
+        assert quota.active("t") == 2
+
+    def test_note_counts_unconditionally(self):
+        """Journal-recovered jobs hold slots but must never be refused."""
+        quota = JobQuota()
+        quotas = TenantQuotas(max_concurrent_jobs=1)
+        quota.note("t")
+        quota.note("t")  # over the limit, still counted
+        assert quota.active("t") == 2
+        assert not quota.try_acquire("t", quotas).allowed
+        quota.release("t")
+        quota.release("t")
+        assert quota.active("t") == 0
+
+    def test_release_never_goes_negative(self):
+        quota = JobQuota()
+        quota.release("t")
+        assert quota.active("t") == 0
+
+    def test_decision_is_frozen(self):
+        with pytest.raises(Exception):
+            Decision(True).allowed = False
